@@ -1,0 +1,278 @@
+// Package asyncagree is a Go reproduction of Lewko & Lewko, "On the
+// Complexity of Asynchronous Agreement Against Powerful Adversaries"
+// (PODC 2013): a deterministic asynchronous message-passing simulator with
+// full-information adversaries (including the paper's strongly adaptive
+// resetting adversary), the paper's reset-tolerant threshold agreement
+// algorithm, the Ben-Or / Bracha / committee / Paxos baselines, and the
+// Talagrand-inequality lower-bound machinery of Section 4.
+//
+// This package is the stable facade over the internal packages. Typical use:
+//
+//	cfg := asyncagree.Config{
+//		Algorithm: asyncagree.AlgorithmCore,
+//		N:         24,
+//		T:         3,
+//		Inputs:    asyncagree.SplitInputs(24),
+//		Seed:      1,
+//	}
+//	sys, err := asyncagree.New(cfg)
+//	...
+//	adv, err := asyncagree.SplitVoteAdversary(cfg)
+//	res, err := sys.RunWindows(adv, 100000)
+//	fmt.Println(res.Windows, res.Agreement, res.Validity)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results; `go run ./cmd/experiments` regenerates them.
+package asyncagree
+
+import (
+	"fmt"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/benor"
+	"asyncagree/internal/bracha"
+	"asyncagree/internal/committee"
+	"asyncagree/internal/core"
+	"asyncagree/internal/paxos"
+	"asyncagree/internal/sim"
+)
+
+// Core simulator types, re-exported.
+type (
+	// Bit is a binary protocol value.
+	Bit = sim.Bit
+	// ProcID identifies a processor (0..n-1).
+	ProcID = sim.ProcID
+	// System is a configured simulation (see sim.System).
+	System = sim.System
+	// RunResult summarizes an execution.
+	RunResult = sim.RunResult
+	// Message is a point-to-point protocol message.
+	Message = sim.Message
+	// Window describes one acceptable window (Definition 1 of the paper).
+	Window = sim.Window
+	// WindowAdversary plans acceptable windows with full information.
+	WindowAdversary = sim.WindowAdversary
+	// StepAdversary drives raw fine-grained steps (Section 5 crash model).
+	StepAdversary = sim.StepAdversary
+	// Thresholds are the core algorithm's T1 >= T2 >= T3.
+	Thresholds = core.Thresholds
+	// Event is a simulator trace event (install a handler via
+	// System.OnEvent).
+	Event = sim.Event
+	// EventKind discriminates trace events.
+	EventKind = sim.EventKind
+)
+
+// Trace event kinds, re-exported.
+const (
+	EvWindow  = sim.EvWindow
+	EvSend    = sim.EvSend
+	EvDeliver = sim.EvDeliver
+	EvReset   = sim.EvReset
+	EvCrash   = sim.EvCrash
+	EvDecide  = sim.EvDecide
+)
+
+// Algorithm selects one of the implemented agreement protocols.
+type Algorithm string
+
+// Implemented algorithms.
+const (
+	// AlgorithmCore is the paper's Section 3 reset-tolerant threshold
+	// protocol (measure-one correct and terminating against the strongly
+	// adaptive adversary for t < n/6; Theorem 4).
+	AlgorithmCore Algorithm = "core"
+	// AlgorithmBenOr is Ben-Or 1983 (crash model, t < n/2).
+	AlgorithmBenOr Algorithm = "benor"
+	// AlgorithmBracha is Bracha 1984 over reliable broadcast (Byzantine,
+	// t < n/3).
+	AlgorithmBracha Algorithm = "bracha"
+	// AlgorithmCommittee is the Kapron et al.-style committee election
+	// (fast, non-adaptive-only, non-zero error probability).
+	AlgorithmCommittee Algorithm = "committee"
+	// AlgorithmPaxos is single-decree Paxos (deterministic; terminates only
+	// under benign scheduling).
+	AlgorithmPaxos Algorithm = "paxos"
+)
+
+// Algorithms lists the implemented algorithms.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgorithmCore, AlgorithmBenOr, AlgorithmBracha, AlgorithmCommittee, AlgorithmPaxos}
+}
+
+// Config describes a simulation to construct.
+type Config struct {
+	// Algorithm selects the protocol every processor runs.
+	Algorithm Algorithm
+	// N is the processor count, T the fault budget (its meaning is
+	// algorithm- and adversary-dependent: resets per acceptable window for
+	// the strongly adaptive adversary, total crashes/corruptions
+	// otherwise).
+	N, T int
+	// Inputs are the n input bits (see UnanimousInputs, SplitInputs).
+	Inputs []Bit
+	// Seed makes the execution reproducible.
+	Seed uint64
+	// CoreThresholds optionally overrides the Theorem 4 defaults for
+	// AlgorithmCore.
+	CoreThresholds *Thresholds
+	// Proposers optionally selects the Paxos proposers (default {0}).
+	Proposers []ProcID
+}
+
+// New constructs a simulation.
+func New(cfg Config) (*System, error) {
+	factory, err := factoryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(sim.Config{
+		N: cfg.N, T: cfg.T, Seed: cfg.Seed, Inputs: cfg.Inputs,
+		NewProcess: factory,
+	})
+}
+
+func factoryFor(cfg Config) (func(ProcID, Bit) sim.Process, error) {
+	switch cfg.Algorithm {
+	case AlgorithmCore:
+		th := cfg.CoreThresholds
+		if th == nil {
+			def, err := core.DefaultThresholds(cfg.N, cfg.T)
+			if err != nil {
+				return nil, err
+			}
+			th = &def
+		}
+		if err := th.Validate(cfg.N, cfg.T); err != nil {
+			return nil, err
+		}
+		return core.NewFactory(cfg.N, cfg.T, *th), nil
+	case AlgorithmBenOr:
+		if cfg.T < 0 || 2*cfg.T >= cfg.N {
+			return nil, fmt.Errorf("asyncagree: benor needs t < n/2, got n=%d t=%d", cfg.N, cfg.T)
+		}
+		return benor.NewFactory(cfg.N, cfg.T), nil
+	case AlgorithmBracha:
+		if cfg.T < 0 || cfg.N <= 3*cfg.T {
+			return nil, fmt.Errorf("asyncagree: bracha needs n > 3t, got n=%d t=%d", cfg.N, cfg.T)
+		}
+		return bracha.NewFactory(cfg.N, cfg.T), nil
+	case AlgorithmCommittee:
+		params := committee.DefaultParams(cfg.N)
+		if err := params.Validate(); err != nil {
+			return nil, err
+		}
+		return committee.NewFactory(params), nil
+	case AlgorithmPaxos:
+		proposers := cfg.Proposers
+		if proposers == nil {
+			proposers = []ProcID{0}
+		}
+		return paxos.NewFactory(paxos.Params{N: cfg.N, Proposers: proposers}), nil
+	default:
+		return nil, fmt.Errorf("asyncagree: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+// DefaultThresholds returns Theorem 4's default thresholds T1 = T2 = n-2t,
+// T3 = n-3t, which exist exactly when t < n/6.
+func DefaultThresholds(n, t int) (Thresholds, error) {
+	return core.DefaultThresholds(n, t)
+}
+
+// UnanimousInputs returns n copies of v.
+func UnanimousInputs(n int, v Bit) []Bit {
+	in := make([]Bit, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+// SplitInputs returns the alternating 0/1 input assignment — the adversarial
+// input setting of the paper's slowness arguments.
+func SplitInputs(n int) []Bit {
+	in := make([]Bit, n)
+	for i := range in {
+		in[i] = Bit(i % 2)
+	}
+	return in
+}
+
+// FullDelivery returns the benign adversary: deliver everything, reset
+// nobody.
+func FullDelivery() WindowAdversary { return adversary.FullDelivery{} }
+
+// RandomAdversary returns a chaos adversary delivering random (n-t)-subsets
+// and resetting up to maxResets processors with probability resetProb per
+// window.
+func RandomAdversary(seed uint64, resetProb float64, maxResets int) WindowAdversary {
+	return adversary.NewRandomWindows(seed, resetProb, maxResets)
+}
+
+// ResetStorm returns the adversary that resets a rotating set of t
+// processors every window.
+func ResetStorm() WindowAdversary { return &adversary.ResetStorm{} }
+
+// Silence returns the adversary that never delivers messages from the given
+// processors (at most t of them).
+func Silence(silent ...ProcID) WindowAdversary {
+	return adversary.FixedSilence{Silent: silent}
+}
+
+// Lockstep returns the fair step-mode scheduler for the Section 5 crash
+// model.
+func Lockstep() StepAdversary { return adversary.NewLockstep() }
+
+// DuelingPaxos returns the dueling-proposers schedule that livelocks Paxos.
+func DuelingPaxos() StepAdversary { return paxos.NewDuelScheduler() }
+
+// SplitVoteAdversary returns the paper's Section 3 stalling strategy tuned
+// to cfg's algorithm: it shows every processor an approximate split of the
+// protocol's value-bearing messages, forcing fresh coin flips each round.
+// Supported for AlgorithmCore and AlgorithmBenOr.
+func SplitVoteAdversary(cfg Config) (WindowAdversary, error) {
+	switch cfg.Algorithm {
+	case AlgorithmCore:
+		th := cfg.CoreThresholds
+		if th == nil {
+			def, err := core.DefaultThresholds(cfg.N, cfg.T)
+			if err != nil {
+				return nil, err
+			}
+			th = &def
+		}
+		return &adversary.SplitVote{
+			Classify: func(m Message) adversary.VoteInfo {
+				if _, v, ok := core.ExtractVote(m); ok {
+					return adversary.VoteInfo{HasValue: true, Value: v}
+				}
+				return adversary.VoteInfo{}
+			},
+			Cap: th.T3 - 1,
+		}, nil
+	case AlgorithmBenOr:
+		return &adversary.SplitVote{
+			Classify: func(m Message) adversary.VoteInfo {
+				if _, _, v, ok := benor.ExtractVote(m); ok {
+					return adversary.VoteInfo{HasValue: true, Value: v}
+				}
+				return adversary.VoteInfo{}
+			},
+			Cap: cfg.N / 2,
+		}, nil
+	default:
+		return nil, fmt.Errorf("asyncagree: split-vote adversary not defined for %q", cfg.Algorithm)
+	}
+}
+
+// Run constructs the system, runs it under adv for at most maxWindows
+// acceptable windows, and returns the summary.
+func Run(cfg Config, adv WindowAdversary, maxWindows int) (RunResult, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return s.RunWindows(adv, maxWindows)
+}

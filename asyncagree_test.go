@@ -1,0 +1,198 @@
+package asyncagree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllAlgorithmsUnanimousDecide(t *testing.T) {
+	cases := []struct {
+		alg  Algorithm
+		n, t int
+		maxW int
+	}{
+		{AlgorithmCore, 12, 1, 10},
+		{AlgorithmBenOr, 9, 2, 10},
+		{AlgorithmBracha, 7, 2, 200},
+		{AlgorithmCommittee, 27, 3, 3000},
+		{AlgorithmPaxos, 5, 2, 200},
+	}
+	for _, c := range cases {
+		t.Run(string(c.alg), func(t *testing.T) {
+			res, err := Run(Config{
+				Algorithm: c.alg, N: c.n, T: c.t,
+				Inputs: UnanimousInputs(c.n, 1), Seed: 7,
+			}, FullDelivery(), c.maxW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllDecided || res.Decision != 1 || !res.Agreement || !res.Validity {
+				t.Fatalf("%+v", res)
+			}
+		})
+	}
+}
+
+func TestNewValidatesParameters(t *testing.T) {
+	cases := []Config{
+		{Algorithm: AlgorithmCore, N: 12, T: 2, Inputs: SplitInputs(12)},   // t >= n/6
+		{Algorithm: AlgorithmBenOr, N: 4, T: 2, Inputs: SplitInputs(4)},    // t >= n/2
+		{Algorithm: AlgorithmBracha, N: 6, T: 2, Inputs: SplitInputs(6)},   // n <= 3t
+		{Algorithm: Algorithm("nope"), N: 4, T: 1, Inputs: SplitInputs(4)}, // unknown
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestCustomThresholds(t *testing.T) {
+	th := Thresholds{T1: 20, T2: 19, T3: 17}
+	cfg := Config{
+		Algorithm: AlgorithmCore, N: 24, T: 2,
+		Inputs: UnanimousInputs(24, 0), Seed: 1,
+		CoreThresholds: &th,
+	}
+	res, err := Run(cfg, FullDelivery(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || res.Decision != 0 {
+		t.Fatalf("%+v", res)
+	}
+	bad := Thresholds{T1: 23, T2: 19, T3: 17} // T1 > n-2t
+	cfg.CoreThresholds = &bad
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid custom thresholds accepted")
+	}
+}
+
+func TestSplitVoteAdversaryStalls(t *testing.T) {
+	cfg := Config{Algorithm: AlgorithmCore, N: 24, T: 3, Inputs: SplitInputs(24), Seed: 3}
+	adv, err := SplitVoteAdversary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, adv, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllDecided {
+		t.Fatalf("decided within 25 windows under split-vote: %+v", res)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("safety violated: %+v", res)
+	}
+}
+
+func TestSplitVoteAdversaryUnsupported(t *testing.T) {
+	if _, err := SplitVoteAdversary(Config{Algorithm: AlgorithmPaxos, N: 5, T: 2}); err == nil {
+		t.Fatal("unsupported algorithm accepted")
+	}
+}
+
+func TestResetStormOnCore(t *testing.T) {
+	cfg := Config{Algorithm: AlgorithmCore, N: 18, T: 2, Inputs: UnanimousInputs(18, 1), Seed: 5}
+	res, err := Run(cfg, ResetStorm(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || res.Decision != 1 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestSilenceAdversary(t *testing.T) {
+	cfg := Config{Algorithm: AlgorithmCore, N: 12, T: 1, Inputs: UnanimousInputs(12, 0), Seed: 2}
+	res, err := Run(cfg, Silence(3), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || res.Decision != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestStepModeFacade(t *testing.T) {
+	s, err := New(Config{
+		Algorithm: AlgorithmPaxos, N: 5, T: 2,
+		Inputs: SplitInputs(5), Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunSteps(Lockstep(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || !res.Agreement {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestDuelingPaxosLivelocks(t *testing.T) {
+	s, err := New(Config{
+		Algorithm: AlgorithmPaxos, N: 5, T: 2,
+		Inputs: SplitInputs(5), Seed: 9,
+		Proposers: []ProcID{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunSteps(DuelingPaxos(), 50000); err != nil {
+		t.Fatal(err)
+	}
+	if s.DecidedCount() != 0 {
+		t.Fatal("dueling schedule allowed a decision")
+	}
+}
+
+func TestInputHelpers(t *testing.T) {
+	u := UnanimousInputs(4, 1)
+	for _, v := range u {
+		if v != 1 {
+			t.Fatal("UnanimousInputs wrong")
+		}
+	}
+	s := SplitInputs(4)
+	if s[0] != 0 || s[1] != 1 || s[2] != 0 || s[3] != 1 {
+		t.Fatal("SplitInputs wrong")
+	}
+}
+
+func TestAgreementAcrossAlgorithmsProperty(t *testing.T) {
+	// Safety holds for every algorithm under the benign adversary for any
+	// input pattern and seed.
+	check := func(seed uint64, pattern uint8, algPick uint8) bool {
+		algs := []struct {
+			alg  Algorithm
+			n, t int
+			maxW int
+		}{
+			{AlgorithmCore, 12, 1, 3000},
+			{AlgorithmBenOr, 9, 2, 3000},
+			{AlgorithmBracha, 7, 2, 20000},
+		}
+		c := algs[int(algPick)%len(algs)]
+		inputs := make([]Bit, c.n)
+		for i := range inputs {
+			inputs[i] = Bit((pattern >> (i % 8)) & 1)
+		}
+		res, err := Run(Config{Algorithm: c.alg, N: c.n, T: c.t, Inputs: inputs, Seed: seed},
+			FullDelivery(), c.maxW)
+		if err != nil {
+			return false
+		}
+		return res.Agreement && res.Validity && res.AllDecided
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 45}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	if len(Algorithms()) != 5 {
+		t.Fatalf("Algorithms() = %v", Algorithms())
+	}
+}

@@ -1,0 +1,191 @@
+package asyncagree
+
+// Benchmark harness: one benchmark per experiment in DESIGN.md §4 (the
+// paper has no numbered tables/figures; each theorem or in-text claim has an
+// experiment ID E1..E12), plus substrate micro-benchmarks. Regenerate the
+// EXPERIMENTS.md tables with `go run ./cmd/experiments -scale full`.
+
+import (
+	"testing"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/experiments"
+	"asyncagree/internal/lowerbound"
+	"asyncagree/internal/rng"
+	"asyncagree/internal/sim"
+	"asyncagree/internal/talagrand"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(experiments.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("%s failed the paper claim", id)
+		}
+	}
+}
+
+func BenchmarkE1Feasibility(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2ExponentialTime(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkE3Thresholds(b *testing.B)       { benchExperiment(b, "E3") }
+func BenchmarkE4Talagrand(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5Separation(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6Interpolation(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7StallProbability(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE8CrashChains(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9Unanimous(b *testing.B)        { benchExperiment(b, "E9") }
+func BenchmarkE10Committee(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Paxos(b *testing.B)           { benchExperiment(b, "E11") }
+func BenchmarkE12NoConflict(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Z1Separation(b *testing.B)    { benchExperiment(b, "E13") }
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkWindowThroughput measures acceptable windows per second for the
+// core algorithm under full delivery (the simulator's hot loop).
+func BenchmarkWindowThroughput(b *testing.B) {
+	for _, n := range []int{12, 24, 48} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			cfg := Config{Algorithm: AlgorithmCore, N: n, T: n / 8, Inputs: SplitInputs(n), Seed: 1}
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			adv := FullDelivery()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.ApplyWindowWith(adv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSplitVoteWindow measures the adversary's per-window planning
+// cost.
+func BenchmarkSplitVoteWindow(b *testing.B) {
+	for _, n := range []int{24, 48} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			t := n / 8
+			s, th, err := lowerbound.NewCoreSystem(n, t, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			adv := lowerbound.NewSplitVote(th)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.ApplyWindowWith(adv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBrachaWindow measures windows of the RBC-based protocol (about
+// an order of magnitude more traffic per window than core).
+func BenchmarkBrachaWindow(b *testing.B) {
+	cfg := Config{Algorithm: AlgorithmBracha, N: 13, T: 4, Inputs: SplitInputs(13), Seed: 1}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := FullDelivery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ApplyWindowWith(adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaxosDecision measures full solo-proposer Paxos decisions.
+func BenchmarkPaxosDecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{Algorithm: AlgorithmPaxos, N: 5, T: 2, Inputs: SplitInputs(5), Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RunSteps(Lockstep(), 100000); err != nil {
+			b.Fatal(err)
+		}
+		if s.DecidedCount() == 0 {
+			b.Fatal("no decision")
+		}
+	}
+}
+
+// BenchmarkTalagrandExact measures exact product-measure computation.
+func BenchmarkTalagrandExact(b *testing.B) {
+	s := talagrand.UniformBits(16)
+	set := talagrand.HammingWeightAtMost(6)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Measure(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTalagrandMC measures Monte-Carlo product-measure estimation.
+func BenchmarkTalagrandMC(b *testing.B) {
+	s := talagrand.UniformBits(64)
+	set := talagrand.HammingWeightAtMost(24)
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.MeasureMC(set, 1000, r)
+	}
+}
+
+// BenchmarkBufferOps measures raw message buffer throughput.
+func BenchmarkBufferOps(b *testing.B) {
+	buf := sim.NewBuffer()
+	for i := 0; i < b.N; i++ {
+		m := buf.Add(sim.Message{From: 0, To: 1})
+		if _, ok := buf.Take(m.ID); !ok {
+			b.Fatal("lost message")
+		}
+	}
+}
+
+// BenchmarkRandomWindows measures the chaos adversary's planning cost.
+func BenchmarkRandomWindows(b *testing.B) {
+	cfg := Config{Algorithm: AlgorithmCore, N: 24, T: 3, Inputs: SplitInputs(24), Seed: 1}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := adversary.NewRandomWindows(7, 0.5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ApplyWindowWith(adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeLabel(n int) string {
+	return "n=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,133 @@
+// Command agree runs a single agreement execution with a chosen algorithm,
+// adversary, and seed, and prints the outcome (optionally with a full step
+// trace).
+//
+// Usage:
+//
+//	agree -alg core -n 24 -t 3 -inputs split -adversary splitvote -seed 1 -max-windows 100000
+//	agree -alg bracha -n 7 -t 2 -inputs ones -adversary random -trace
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncagree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "agree:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agree", flag.ContinueOnError)
+	var (
+		alg        = fs.String("alg", "core", "algorithm: core | benor | bracha | committee | paxos")
+		n          = fs.Int("n", 24, "number of processors")
+		t          = fs.Int("t", 3, "fault budget t")
+		inputs     = fs.String("inputs", "split", "input pattern: split | zeros | ones")
+		advName    = fs.String("adversary", "full", "adversary: full | random | storm | splitvote | silence")
+		seed       = fs.Uint64("seed", 1, "random seed (same seed + same flags = same execution)")
+		maxWindows = fs.Int("max-windows", 100000, "window budget")
+		trace      = fs.Bool("trace", false, "print every simulator event")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in []asyncagree.Bit
+	switch *inputs {
+	case "split":
+		in = asyncagree.SplitInputs(*n)
+	case "zeros":
+		in = asyncagree.UnanimousInputs(*n, 0)
+	case "ones":
+		in = asyncagree.UnanimousInputs(*n, 1)
+	default:
+		return fmt.Errorf("unknown input pattern %q", *inputs)
+	}
+
+	cfg := asyncagree.Config{
+		Algorithm: asyncagree.Algorithm(*alg),
+		N:         *n, T: *t,
+		Inputs: in,
+		Seed:   *seed,
+	}
+	sys, err := asyncagree.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	var adv asyncagree.WindowAdversary
+	switch *advName {
+	case "full":
+		adv = asyncagree.FullDelivery()
+	case "random":
+		adv = asyncagree.RandomAdversary(*seed+1, 0.5, *t)
+	case "storm":
+		adv = asyncagree.ResetStorm()
+	case "splitvote":
+		adv, err = asyncagree.SplitVoteAdversary(cfg)
+		if err != nil {
+			return err
+		}
+	case "silence":
+		var silent []asyncagree.ProcID
+		for i := 0; i < *t; i++ {
+			silent = append(silent, asyncagree.ProcID(i))
+		}
+		adv = asyncagree.Silence(silent...)
+	default:
+		return fmt.Errorf("unknown adversary %q", *advName)
+	}
+
+	if *trace {
+		installTracer(sys)
+	}
+
+	res, err := sys.RunWindows(adv, *maxWindows)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm        %s (n=%d, t=%d, inputs=%s, adversary=%s, seed=%d)\n",
+		*alg, *n, *t, *inputs, *advName, *seed)
+	fmt.Printf("windows          %d\n", res.Windows)
+	if res.FirstDecision >= 0 {
+		fmt.Printf("first decision   window %d (value %d)\n", res.FirstDecision, res.Decision)
+	} else {
+		fmt.Printf("first decision   none within budget\n")
+	}
+	fmt.Printf("all decided      %v (%d/%d)\n", res.AllDecided, sys.DecidedCount(), *n)
+	fmt.Printf("agreement        %v\n", res.Agreement)
+	fmt.Printf("validity         %v\n", res.Validity)
+	fmt.Printf("max chain depth  %d\n", res.MaxChainDepth)
+	if !res.Agreement || !res.Validity {
+		return errors.New("safety violated (this should be impossible for the core algorithm)")
+	}
+	return nil
+}
+
+func installTracer(sys *asyncagree.System) {
+	sys.OnEvent = func(ev asyncagree.Event) {
+		switch ev.Kind {
+		case asyncagree.EvWindow:
+			fmt.Printf("-- window %d complete --\n", ev.Window)
+		case asyncagree.EvSend:
+			fmt.Printf("w%04d send    %d -> %d  %v\n", ev.Window, ev.Msg.From, ev.Msg.To, ev.Msg.Payload)
+		case asyncagree.EvDeliver:
+			fmt.Printf("w%04d deliver %d -> %d  %v\n", ev.Window, ev.Msg.From, ev.Msg.To, ev.Msg.Payload)
+		case asyncagree.EvReset:
+			fmt.Printf("w%04d RESET   processor %d\n", ev.Window, ev.Proc)
+		case asyncagree.EvCrash:
+			fmt.Printf("w%04d CRASH   processor %d\n", ev.Window, ev.Proc)
+		case asyncagree.EvDecide:
+			fmt.Printf("w%04d DECIDE  processor %d -> %d\n", ev.Window, ev.Proc, ev.Value)
+		}
+	}
+}

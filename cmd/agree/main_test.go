@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunCoreSplitVote(t *testing.T) {
+	err := run([]string{
+		"-alg", "core", "-n", "12", "-t", "1",
+		"-inputs", "split", "-adversary", "splitvote",
+		"-seed", "3", "-max-windows", "200000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBrachaFull(t *testing.T) {
+	err := run([]string{
+		"-alg", "bracha", "-n", "7", "-t", "2",
+		"-inputs", "ones", "-adversary", "full", "-max-windows", "500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSilenceAdversary(t *testing.T) {
+	err := run([]string{
+		"-alg", "core", "-n", "12", "-t", "1",
+		"-inputs", "zeros", "-adversary", "silence", "-max-windows", "100",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "nope", "-n", "8", "-t", "1"},
+		{"-inputs", "nope"},
+		{"-adversary", "nope"},
+		{"-alg", "core", "-n", "12", "-t", "3"}, // t >= n/6
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command experiments regenerates the reproduction tables of EXPERIMENTS.md:
+// one experiment per theorem or in-text quantitative claim of the paper
+// (the paper has no numbered tables/figures; see DESIGN.md §4 for the
+// index).
+//
+// Usage:
+//
+//	experiments                 # run all experiments at quick scale
+//	experiments -scale full     # the EXPERIMENTS.md configuration (slow)
+//	experiments -id E2          # run one experiment
+//	experiments -parallel 4     # run up to 4 experiments concurrently
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"asyncagree/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		id        = fs.String("id", "", "run only this experiment (e.g. E2); empty = all")
+		scaleName = fs.String("scale", "quick", "quick | full")
+		parallel  = fs.Int("parallel", 1, "experiments to run concurrently")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.ScaleQuick
+	if *scaleName == "full" {
+		scale = experiments.ScaleFull
+	} else if *scaleName != "quick" {
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	var exps []experiments.Experiment
+	if *id != "" {
+		e, err := experiments.Get(*id)
+		if err != nil {
+			return err
+		}
+		exps = []experiments.Experiment{e}
+	} else {
+		exps = experiments.All()
+	}
+
+	type outcome struct {
+		exp     experiments.Experiment
+		res     experiments.Result
+		err     error
+		elapsed time.Duration
+	}
+	outcomes := make([]outcome, len(exps))
+
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e experiments.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := e.Run(scale)
+			outcomes[i] = outcome{exp: e, res: res, err: err, elapsed: time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+
+	failed := 0
+	for _, o := range outcomes {
+		fmt.Printf("== %s: %s (%.1fs)\n\n", o.exp.ID, o.exp.Title, o.elapsed.Seconds())
+		if o.err != nil {
+			fmt.Printf("ERROR: %v\n\n", o.err)
+			failed++
+			continue
+		}
+		fmt.Println(o.res.Table.String())
+		for _, n := range o.res.Notes {
+			fmt.Println("  " + n)
+		}
+		fmt.Println()
+		if !o.res.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}

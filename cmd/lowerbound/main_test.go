@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("8, 12,16")
+	if err != nil || len(got) != 3 || got[0] != 8 || got[1] != 12 || got[2] != 16 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("8,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+func TestRunStallMode(t *testing.T) {
+	err := run([]string{"-mode", "stall", "-ns", "8,12", "-trials", "4", "-max-windows", "50000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSurvivalMode(t *testing.T) {
+	err := run([]string{"-mode", "survival", "-n", "12", "-t", "1", "-trials", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeparationMode(t *testing.T) {
+	err := run([]string{"-mode", "separation", "-n", "8", "-t", "1", "-trials", "4", "-max-windows", "50000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run([]string{"-mode", "nope"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

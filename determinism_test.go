@@ -1,0 +1,105 @@
+package asyncagree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExecutionsAreReplayable verifies the repository's core reproducibility
+// guarantee: the same Config and adversary produce bit-identical executions.
+func TestExecutionsAreReplayable(t *testing.T) {
+	cases := []Config{
+		{Algorithm: AlgorithmCore, N: 18, T: 2, Inputs: SplitInputs(18), Seed: 11},
+		{Algorithm: AlgorithmBenOr, N: 9, T: 2, Inputs: SplitInputs(9), Seed: 11},
+		{Algorithm: AlgorithmBracha, N: 7, T: 2, Inputs: SplitInputs(7), Seed: 11},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		t.Run(string(cfg.Algorithm), func(t *testing.T) {
+			run := func() (RunResult, []string, error) {
+				s, err := New(cfg)
+				if err != nil {
+					return RunResult{}, nil, err
+				}
+				adv := RandomAdversary(99, 0.4, cfg.T)
+				res, err := s.RunWindows(adv, 4000)
+				return res, s.ConfigurationSnapshot(), err
+			}
+			resA, snapA, errA := run()
+			resB, snapB, errB := run()
+			if errA != nil || errB != nil {
+				t.Fatalf("errors: %v, %v", errA, errB)
+			}
+			if resA != resB {
+				t.Fatalf("results diverged:\n%+v\n%+v", resA, resB)
+			}
+			for i := range snapA {
+				if snapA[i] != snapB[i] {
+					t.Fatalf("processor %d state diverged:\n%q\n%q", i, snapA[i], snapB[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSeedChangesExecution guards against accidentally ignoring the seed.
+func TestSeedChangesExecution(t *testing.T) {
+	outcomes := map[string]bool{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		res, err := Run(Config{
+			Algorithm: AlgorithmCore, N: 12, T: 1,
+			Inputs: SplitInputs(12), Seed: seed,
+		}, FullDelivery(), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes[fmt.Sprintf("%d/%d", res.Windows, res.Decision)] = true
+	}
+	if len(outcomes) < 2 {
+		t.Fatalf("8 seeds produced %d distinct outcomes; randomness not flowing", len(outcomes))
+	}
+}
+
+// TestT2AblationSpeedsDecision reproduces the paper's parenthetical remark
+// in the proof of Theorem 4: "Having a smaller value of t allows one to set
+// T2 smaller than T1, which will lead to improvement in running time."
+// With T2 lowered from n-2t toward (n/2)+1, the per-round decision
+// probability rises, so mean windows-to-decision drops.
+func TestT2AblationSpeedsDecision(t *testing.T) {
+	const n, tt, trials = 24, 2, 12
+	mean := func(th Thresholds) float64 {
+		total := 0
+		for seed := uint64(1); seed <= trials; seed++ {
+			res, err := Run(Config{
+				Algorithm: AlgorithmCore, N: n, T: tt,
+				Inputs: SplitInputs(n), Seed: seed,
+				CoreThresholds: &th,
+			}, FullDelivery(), 2000000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllDecided {
+				t.Fatalf("no decision for thresholds %+v seed %d", th, seed)
+			}
+			total += res.Windows
+		}
+		return float64(total) / trials
+	}
+	strict := Thresholds{T1: n - 2*tt, T2: n - 2*tt, T3: n - 3*tt} // T2 = T1 = 20
+	relaxed := Thresholds{T1: n - 2*tt, T2: n - 3*tt + tt, T3: n - 3*tt}
+	// relaxed: T2 = T3 + t = 20 - 6 + 2 + ... compute: T3 = 18, T2 = 20? n=24, tt=2:
+	// T1 = 20, T3 = 18, minimum legal T2 = T3 + t = 20. Equal again — use a
+	// larger gap instead: t=2 gives no slack. Use custom T3 just above n/2.
+	relaxed = Thresholds{T1: 20, T2: 15, T3: 13} // T3 = 13 > 12 = n/2, T2 = T3 + 2
+	if err := relaxed.Validate(n, tt); err != nil {
+		t.Fatal(err)
+	}
+	mStrict := mean(strict)
+	mRelaxed := mean(relaxed)
+	if mRelaxed >= mStrict {
+		t.Fatalf("relaxed thresholds did not speed up decisions: strict %.1f vs relaxed %.1f windows",
+			mStrict, mRelaxed)
+	}
+	t.Logf("ablation: strict T2=%d -> %.1f windows; relaxed T2=%d -> %.1f windows",
+		strict.T2, mStrict, relaxed.T2, mRelaxed)
+}

@@ -1,0 +1,75 @@
+// Committee: the introduction's separation, run live. The Kapron et
+// al.-style committee algorithm finishes fast and survives *non-adaptive*
+// Byzantine faults, but an *adaptive* adversary simply waits until the
+// final committee is known and silences it — after which nobody can decide.
+// Bracha's algorithm (slow, optimal resilience) is unbothered by the same
+// strike because there is no small committee to decapitate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncagree"
+	"asyncagree/internal/bracha"
+	"asyncagree/internal/committee"
+)
+
+func main() {
+	const n = 27
+
+	// Fault-free committee run.
+	runCommittee("fault-free", nil, false)
+
+	// Non-adaptive: 3 silent Byzantine processors fixed before the run.
+	runCommittee("non-adaptive (3 silent)", []asyncagree.ProcID{4, 13, 22}, false)
+
+	// Adaptive: wait for the final committee, then silence 3 of it.
+	runCommittee("adaptive strike on final committee", nil, true)
+}
+
+func runCommittee(label string, preCorrupt []asyncagree.ProcID, adaptive bool) {
+	const n = 27
+	sys, err := asyncagree.New(asyncagree.Config{
+		Algorithm: asyncagree.AlgorithmCommittee,
+		N:         n, T: 3,
+		Inputs: asyncagree.UnanimousInputs(n, 1),
+		Seed:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range preCorrupt {
+		if err := sys.Corrupt(v, bracha.NewSilent(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	adv := asyncagree.FullDelivery()
+	struck := false
+	for w := 0; w < 4000 && !sys.AllDecided(); w++ {
+		if err := sys.ApplyWindowWith(adv); err != nil {
+			log.Fatal(err)
+		}
+		if !adaptive || struck {
+			continue
+		}
+		p0, ok := sys.Proc(0).(*committee.Proc)
+		if !ok {
+			log.Fatal("unexpected process type")
+		}
+		final := p0.FinalCommittee()
+		if final == nil {
+			continue
+		}
+		fmt.Printf("  [%s] final committee known at window %d: %v — striking now\n", label, w, final)
+		for i := 0; i < 3 && i < len(final); i++ {
+			if err := sys.Corrupt(final[i], bracha.NewSilent(final[i])); err != nil {
+				log.Fatal(err)
+			}
+		}
+		struck = true
+	}
+	res := sys.Result()
+	fmt.Printf("%-38s decided=%d/%d windows=%d agreement=%v\n\n",
+		label+":", sys.DecidedCount(), n, res.Windows, res.Agreement)
+}

@@ -1,0 +1,48 @@
+// Quickstart: run the paper's reset-tolerant agreement algorithm (Section 3)
+// on 24 processors with split inputs under a benign schedule, then under a
+// chaotic adversary with resets, and print what happened.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncagree"
+)
+
+func main() {
+	const n, t = 24, 3 // t < n/6, the Theorem 4 regime
+
+	cfg := asyncagree.Config{
+		Algorithm: asyncagree.AlgorithmCore,
+		N:         n,
+		T:         t,
+		Inputs:    asyncagree.SplitInputs(n),
+		Seed:      42,
+	}
+
+	// 1. Benign run: every message delivered, no faults.
+	res, err := asyncagree.Run(cfg, asyncagree.FullDelivery(), 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benign schedule:   decided %v in %d windows (agreement=%v validity=%v)\n",
+		res.Decision, res.Windows, res.Agreement, res.Validity)
+
+	// 2. Chaos run: random (n-t)-subset deliveries, random memory resets.
+	res, err = asyncagree.Run(cfg, asyncagree.RandomAdversary(7, 0.5, t), 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chaotic adversary: decided %v in %d windows (agreement=%v validity=%v)\n",
+		res.Decision, res.Windows, res.Agreement, res.Validity)
+
+	// 3. Unanimous inputs decide in the very first acceptable window.
+	cfg.Inputs = asyncagree.UnanimousInputs(n, 1)
+	res, err = asyncagree.Run(cfg, asyncagree.ResetStorm(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unanimous inputs:  decided %v with first decision in window %d despite a reset storm\n",
+		res.Decision, res.FirstDecision)
+}

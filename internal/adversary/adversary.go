@@ -1,0 +1,188 @@
+// Package adversary implements full-information adversaries for the
+// simulator in internal/sim.
+//
+// A window adversary is invoked after the sending steps of each acceptable
+// window with the just-sent batch in hand — it sees all processor states and
+// all message contents (the paper's adversary has unbounded computational
+// power and unrestricted access to both). Deterministic adversaries are
+// deterministic functions from the partial execution to the next window,
+// exactly matching the paper's definition; randomized "chaos" adversaries
+// carry their own seeded source for reproducibility.
+package adversary
+
+import (
+	"asyncagree/internal/rng"
+	"asyncagree/internal/sim"
+)
+
+// FullDelivery is the benign adversary: every message is delivered and no
+// resets occur. It witnesses the fast paths (unanimous inputs decide in the
+// first window).
+type FullDelivery struct{}
+
+var _ sim.WindowAdversary = FullDelivery{}
+
+// PlanDelivery implements sim.WindowAdversary.
+func (FullDelivery) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
+	return sim.Window{Senders: make([][]sim.ProcID, s.N())}
+}
+
+// FixedSilence always excludes the same set of up to t senders from every
+// delivery — the "temporarily silenced" adversary used in the proofs of
+// Lemmas 11 and 13 (deliver only from the last n-t processors forever).
+type FixedSilence struct {
+	// Silent lists the processors whose messages are never delivered.
+	Silent []sim.ProcID
+}
+
+var _ sim.WindowAdversary = FixedSilence{}
+
+// PlanDelivery implements sim.WindowAdversary.
+func (a FixedSilence) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
+	silent := make(map[sim.ProcID]bool, len(a.Silent))
+	for _, p := range a.Silent {
+		silent[p] = true
+	}
+	var senders []sim.ProcID
+	for i := 0; i < s.N(); i++ {
+		if !silent[sim.ProcID(i)] {
+			senders = append(senders, sim.ProcID(i))
+		}
+	}
+	return sim.UniformWindow(s.N(), senders, nil)
+}
+
+// RandomWindows is a chaos adversary: each window it delivers from an
+// independent random (n-t)-subset to each receiver and resets a random
+// subset of up to t processors with probability ResetProb each window.
+type RandomWindows struct {
+	rng       *rng.Source
+	resetProb float64
+	maxResets int
+}
+
+var _ sim.WindowAdversary = (*RandomWindows)(nil)
+
+// NewRandomWindows returns a RandomWindows adversary. maxResets caps resets
+// per window (it is further capped at t); resetProb is the per-window
+// probability of performing resets at all.
+func NewRandomWindows(seed uint64, resetProb float64, maxResets int) *RandomWindows {
+	return &RandomWindows{rng: rng.New(seed), resetProb: resetProb, maxResets: maxResets}
+}
+
+// PlanDelivery implements sim.WindowAdversary.
+func (a *RandomWindows) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
+	n, t := s.N(), s.T()
+	w := sim.Window{Senders: make([][]sim.ProcID, n)}
+	for i := range w.Senders {
+		if t == 0 {
+			continue // nil = all senders
+		}
+		k := n - a.rng.Intn(t+1) // |S_i| uniform in [n-t, n]
+		set := a.rng.Subset(n, k)
+		ids := make([]sim.ProcID, len(set))
+		for j, v := range set {
+			ids[j] = sim.ProcID(v)
+		}
+		w.Senders[i] = ids
+	}
+	budget := a.maxResets
+	if budget > t {
+		budget = t
+	}
+	if budget > 0 && a.rng.Float64() < a.resetProb {
+		k := 1 + a.rng.Intn(budget)
+		for _, v := range a.rng.Subset(n, k) {
+			w.Resets = append(w.Resets, sim.ProcID(v))
+		}
+	}
+	return w
+}
+
+// ResetStorm resets a full budget of t processors every single window,
+// rotating through the ring so that every processor is hit repeatedly. It
+// stresses Theorem 4's claim that correctness survives arbitrary adaptive
+// resets within the window constraint.
+type ResetStorm struct {
+	next int
+}
+
+var _ sim.WindowAdversary = (*ResetStorm)(nil)
+
+// PlanDelivery implements sim.WindowAdversary.
+func (a *ResetStorm) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
+	n, t := s.N(), s.T()
+	w := sim.Window{Senders: make([][]sim.ProcID, n)}
+	for k := 0; k < t; k++ {
+		w.Resets = append(w.Resets, sim.ProcID((a.next+k)%n))
+	}
+	a.next = (a.next + t) % n
+	return w
+}
+
+// TargetDecided resets (up to its budget) the processors that look closest
+// to deciding — here, any processor whose snapshot changed to a decided
+// output is untouchable (outputs survive resets), so it targets the
+// processors with the most advanced round instead. It composes reset
+// pressure with another delivery strategy.
+type TargetDecided struct {
+	// Inner plans the delivery pattern; resets are overridden.
+	Inner sim.WindowAdversary
+	// RoundOf extracts a progress measure from a processor, e.g.
+	// core-specific round numbers. Nil disables targeting.
+	RoundOf func(sim.Process) (int, bool)
+}
+
+var _ sim.WindowAdversary = (*TargetDecided)(nil)
+
+// PlanDelivery implements sim.WindowAdversary.
+func (a *TargetDecided) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
+	w := a.Inner.PlanDelivery(s, batch)
+	if a.RoundOf == nil {
+		return w
+	}
+	type cand struct {
+		p     sim.ProcID
+		round int
+	}
+	var cands []cand
+	for i := 0; i < s.N(); i++ {
+		if r, ok := a.RoundOf(s.Proc(sim.ProcID(i))); ok {
+			cands = append(cands, cand{p: sim.ProcID(i), round: r})
+		}
+	}
+	// Select the t most advanced processors (insertion sort by descending
+	// round; n is small in experiments).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j-1].round < cands[j].round; j-- {
+			cands[j-1], cands[j] = cands[j], cands[j-1]
+		}
+	}
+	w.Resets = w.Resets[:0]
+	for i := 0; i < len(cands) && i < s.T(); i++ {
+		w.Resets = append(w.Resets, cands[i].p)
+	}
+	return w
+}
+
+// CrashSchedule composes crash injection with an inner window adversary for
+// the Section 5 crash model: the listed processors are crashed just before
+// the window with the matching index is planned.
+type CrashSchedule struct {
+	// Inner plans deliveries.
+	Inner sim.WindowAdversary
+	// CrashAt maps window index -> processors to crash at its start.
+	CrashAt map[int][]sim.ProcID
+}
+
+var _ sim.WindowAdversary = (*CrashSchedule)(nil)
+
+// PlanDelivery implements sim.WindowAdversary.
+func (a *CrashSchedule) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
+	for _, p := range a.CrashAt[s.Windows()] {
+		// Errors (budget exhausted) deliberately surface later as missing
+		// crashes; the schedule is validated by tests.
+		_ = s.StepCrash(p)
+	}
+	return a.Inner.PlanDelivery(s, batch)
+}

@@ -1,0 +1,114 @@
+package adversary
+
+import (
+	"sort"
+
+	"asyncagree/internal/sim"
+)
+
+// VoteInfo classifies one message for the split-vote adversary.
+type VoteInfo struct {
+	// HasValue reports whether the message carries a protocol bit the
+	// adversary wants to balance (e.g. a (r, x) vote). Neutral messages
+	// (round-sync traffic, '?' proposals) are always delivered.
+	HasValue bool
+	// Value is the carried bit when HasValue.
+	Value sim.Bit
+}
+
+// SplitVote is the adversary the paper describes at the end of Section 3:
+//
+//	"with high probability per round, the adversary can continually extend
+//	the execution to last one more round without deciding by showing every
+//	processor an approximate split between 0 and 1 messages, and then having
+//	all of them set their next bits randomly in step 3."
+//
+// Each window it counts the 0-votes and 1-votes in the just-sent batch and
+// excludes just enough senders of the majority value that every receiver
+// sees at most Cap votes for either value — below the deterministic-adoption
+// threshold T3, and a fortiori below the decision threshold T2. While the
+// exclusion fits within the fault budget t, no processor can make progress
+// and all re-randomize; the execution extends one more window. When the
+// random bits happen to produce a count so lopsided that the exclusion no
+// longer fits in t, the adversary is beaten and delivers everything.
+//
+// Because the per-window coin flips concentrate around n/2 (the paper's
+// O(n^{1/2+eps}) deviation remark), the beaten event has exponentially small
+// probability per window for t = cn, which is exactly the mechanism behind
+// the exponential expected running time reproduced by experiment E2.
+type SplitVote struct {
+	// Classify extracts the balanced bit from a message (algorithm-specific;
+	// core.ClassifyVote and benor.ClassifyVote are the stock extractors).
+	Classify func(sim.Message) VoteInfo
+	// Cap is the maximum same-value vote count any receiver may see. For
+	// the core algorithm use T3-1; for Ben-Or use floor(n/2).
+	Cap int
+
+	// GaveUp counts windows where the exclusion did not fit in t and full
+	// delivery happened instead.
+	GaveUp int
+	// Windows counts planned windows.
+	Windows int
+}
+
+var _ sim.WindowAdversary = (*SplitVote)(nil)
+
+// PlanDelivery implements sim.WindowAdversary.
+func (a *SplitVote) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
+	a.Windows++
+	n, t := s.N(), s.T()
+
+	// A sender's vote this window is the classified value of its messages
+	// (all copies of a broadcast carry the same payload; the first
+	// value-bearing message wins).
+	votesBy := make(map[sim.ProcID]sim.Bit, n)
+	for _, m := range batch {
+		if _, seen := votesBy[m.From]; seen {
+			continue
+		}
+		info := a.Classify(m)
+		if info.HasValue {
+			votesBy[m.From] = info.Value
+		}
+	}
+	var zeros, ones []sim.ProcID
+	for p, v := range votesBy {
+		if v == 0 {
+			zeros = append(zeros, p)
+		} else {
+			ones = append(ones, p)
+		}
+	}
+	sort.Slice(zeros, func(i, j int) bool { return zeros[i] < zeros[j] })
+	sort.Slice(ones, func(i, j int) bool { return ones[i] < ones[j] })
+
+	e0 := len(zeros) - a.Cap
+	if e0 < 0 {
+		e0 = 0
+	}
+	e1 := len(ones) - a.Cap
+	if e1 < 0 {
+		e1 = 0
+	}
+	if e0+e1 > t {
+		// Beaten this window: the split is too lopsided to hide within the
+		// fault budget. Deliver everything.
+		a.GaveUp++
+		return sim.Window{Senders: make([][]sim.ProcID, n)}
+	}
+
+	excluded := make(map[sim.ProcID]bool, e0+e1)
+	for _, p := range zeros[:e0] {
+		excluded[p] = true
+	}
+	for _, p := range ones[:e1] {
+		excluded[p] = true
+	}
+	senders := make([]sim.ProcID, 0, n-len(excluded))
+	for i := 0; i < n; i++ {
+		if !excluded[sim.ProcID(i)] {
+			senders = append(senders, sim.ProcID(i))
+		}
+	}
+	return sim.UniformWindow(n, senders, nil)
+}

@@ -1,0 +1,82 @@
+package adversary
+
+import "asyncagree/internal/sim"
+
+// Lockstep is a fair step-mode scheduler: it cycles through sending steps
+// for all live processors, then delivers every message buffered at that
+// point, and repeats. Every sent message to a live processor is eventually
+// delivered, satisfying the liveness constraint of the crash model.
+type Lockstep struct {
+	sendNext int
+	inSend   bool
+	started  bool
+	deliverQ []int64
+}
+
+var _ sim.StepAdversary = (*Lockstep)(nil)
+
+// NewLockstep returns a fair scheduler starting with a sending phase.
+func NewLockstep() *Lockstep {
+	return &Lockstep{inSend: true}
+}
+
+// NextStep implements sim.StepAdversary.
+func (a *Lockstep) NextStep(s *sim.System) (sim.Step, bool) {
+	n := s.N()
+	for {
+		if a.inSend {
+			for a.sendNext < n && s.Crashed(sim.ProcID(a.sendNext)) {
+				a.sendNext++
+			}
+			if a.sendNext < n {
+				p := a.sendNext
+				a.sendNext++
+				return sim.Step{Kind: sim.StepSend, Proc: sim.ProcID(p)}, true
+			}
+			a.inSend = false
+			a.deliverQ = s.Buffer().IDs()
+		}
+		for len(a.deliverQ) > 0 {
+			id := a.deliverQ[0]
+			a.deliverQ = a.deliverQ[1:]
+			if _, ok := s.Buffer().Get(id); ok {
+				return sim.Step{Kind: sim.StepDeliver, MsgID: id}, true
+			}
+		}
+		a.inSend = true
+		a.sendNext = 0
+	}
+}
+
+// StarveOne is a step-mode scheduler that behaves like Lockstep but never
+// delivers messages from one victim sender (legal in the crash model only
+// if the victim is also crashed or if the execution is finite; tests use it
+// to probe wait-threshold robustness).
+type StarveOne struct {
+	inner  *Lockstep
+	victim sim.ProcID
+}
+
+var _ sim.StepAdversary = (*StarveOne)(nil)
+
+// NewStarveOne returns a scheduler that withholds all messages sent by
+// victim.
+func NewStarveOne(victim sim.ProcID) *StarveOne {
+	return &StarveOne{inner: NewLockstep(), victim: victim}
+}
+
+// NextStep implements sim.StepAdversary.
+func (a *StarveOne) NextStep(s *sim.System) (sim.Step, bool) {
+	for {
+		step, ok := a.inner.NextStep(s)
+		if !ok {
+			return step, false
+		}
+		if step.Kind == sim.StepDeliver {
+			if m, live := s.Buffer().Get(step.MsgID); live && m.From == a.victim {
+				continue // withhold
+			}
+		}
+		return step, true
+	}
+}

@@ -1,0 +1,242 @@
+package benor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/sim"
+)
+
+func newSystem(t *testing.T, n, tt int, inputs []sim.Bit, seed uint64) *sim.System {
+	t.Helper()
+	s, err := sim.New(sim.Config{
+		N: n, T: tt, Seed: seed, Inputs: inputs,
+		NewProcess: NewFactory(n, tt),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func unanimous(n int, v sim.Bit) []sim.Bit {
+	in := make([]sim.Bit, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+func split(n int) []sim.Bit {
+	in := make([]sim.Bit, n)
+	for i := range in {
+		in[i] = sim.Bit(i % 2)
+	}
+	return in
+}
+
+func classifyReport(m sim.Message) adversary.VoteInfo {
+	if _, _, v, ok := ExtractVote(m); ok {
+		return adversary.VoteInfo{HasValue: true, Value: v}
+	}
+	return adversary.VoteInfo{}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		n, t    int
+		wantErr bool
+	}{
+		{4, 1, false},
+		{5, 2, false},
+		{4, 2, true},  // 2t >= n
+		{4, -1, true}, // negative
+		{1, 0, false},
+	}
+	for _, c := range cases {
+		_, err := New(0, c.n, c.t, 0)
+		if (err != nil) != c.wantErr {
+			t.Errorf("New(n=%d, t=%d) err = %v, wantErr %v", c.n, c.t, err, c.wantErr)
+		}
+	}
+}
+
+func TestUnanimousDecidesRoundOne(t *testing.T) {
+	for _, v := range []sim.Bit{0, 1} {
+		s := newSystem(t, 9, 2, unanimous(9, v), 4)
+		res, err := s.RunWindows(adversary.FullDelivery{}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided || res.Decision != v || !res.Agreement || !res.Validity {
+			t.Fatalf("v=%d: %+v", v, res)
+		}
+		// Round 1 = two windows (report + proposal).
+		if res.FirstDecision > 1 {
+			t.Fatalf("first decision in window %d, want <= 1", res.FirstDecision)
+		}
+	}
+}
+
+func TestSplitTerminatesUnderFairness(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		s := newSystem(t, 9, 2, split(9), seed)
+		res, err := s.RunWindows(adversary.FullDelivery{}, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided || !res.Agreement || !res.Validity {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+func TestAgreementUnderCrashesProperty(t *testing.T) {
+	// Crash up to t processors at adversarial times; agreement and validity
+	// must always hold.
+	check := func(seed uint64, pattern uint8, crashWin uint8, victim uint8) bool {
+		const n, tt = 9, 2
+		inputs := make([]sim.Bit, n)
+		for i := range inputs {
+			inputs[i] = sim.Bit((pattern >> (i % 8)) & 1)
+		}
+		s, err := sim.New(sim.Config{
+			N: n, T: tt, Seed: seed, Inputs: inputs, NewProcess: NewFactory(n, tt),
+		})
+		if err != nil {
+			return false
+		}
+		v1 := sim.ProcID(int(victim) % n)
+		v2 := sim.ProcID(int(victim/9) % n)
+		crashes := map[int][]sim.ProcID{int(crashWin) % 6: {v1}}
+		if v2 != v1 {
+			crashes[int(crashWin)%6+2] = []sim.ProcID{v2}
+		}
+		adv := &adversary.CrashSchedule{Inner: adversary.FullDelivery{}, CrashAt: crashes}
+		res, err := s.RunWindows(adv, 4000)
+		if err != nil {
+			return false
+		}
+		return res.Agreement && res.Validity && res.AllDecided
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepModeLockstep(t *testing.T) {
+	// Ben-Or must also run under the raw step scheduler (the classical
+	// asynchronous crash model, not windows).
+	s := newSystem(t, 5, 1, unanimous(5, 1), 2)
+	res, err := s.RunSteps(adversary.NewLockstep(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || res.Decision != 1 || !res.Agreement || !res.Validity {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestMessageChainGrowsWithRounds(t *testing.T) {
+	// Fully communicative: every phase builds one more link of the message
+	// chain, so chain depth ~ 2 windows per round.
+	s := newSystem(t, 9, 2, split(9), 3)
+	res, err := s.RunWindows(adversary.FullDelivery{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxChainDepth < res.Windows {
+		t.Fatalf("chain depth %d < windows %d: chains not linking", res.MaxChainDepth, res.Windows)
+	}
+}
+
+func TestSplitVoteAdversaryStallsBenOr(t *testing.T) {
+	// Theorem 17's mechanism: keep every report count at or below n/2 so no
+	// processor ever forms a valued proposal, forcing fresh coin flips each
+	// round. Deterministic given seeds; assert on the mean.
+	const n, tt, trials = 13, 3, 10
+	total := 0
+	for seed := uint64(1); seed <= trials; seed++ {
+		s := newSystem(t, n, tt, split(n), seed)
+		adv := &adversary.SplitVote{Classify: classifyReport, Cap: n / 2}
+		res, err := s.RunWindows(adv, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agreement || !res.Validity {
+			t.Fatalf("seed %d: safety violated: %+v", seed, res)
+		}
+		if res.FirstDecision < 0 {
+			t.Fatalf("seed %d: no decision in 100000 windows", seed)
+		}
+		total += res.FirstDecision
+	}
+	if mean := total / trials; mean < 10 {
+		t.Fatalf("mean stall %d windows, want >= 10", mean)
+	}
+}
+
+func TestProposalConflictImpossibleUnderHonesty(t *testing.T) {
+	// Observe all proposals: per round at most one value may be proposed.
+	s := newSystem(t, 9, 2, split(9), 8)
+	valued := map[int]map[sim.Bit]bool{}
+	s.OnEvent = func(ev sim.Event) {
+		if ev.Kind != sim.EvSend {
+			return
+		}
+		if msg, ok := ev.Msg.Payload.(Msg); ok && msg.P == PhaseProposal && msg.Valued {
+			if valued[msg.R] == nil {
+				valued[msg.R] = map[sim.Bit]bool{}
+			}
+			valued[msg.R][msg.V] = true
+		}
+	}
+	if _, err := s.RunWindows(adversary.NewRandomWindows(5, 0, 0), 2000); err != nil {
+		t.Fatal(err)
+	}
+	for r, vals := range valued {
+		if vals[0] && vals[1] {
+			t.Fatalf("round %d: both 0 and 1 proposed", r)
+		}
+	}
+}
+
+func TestExtractVote(t *testing.T) {
+	r, ph, v, ok := ExtractVote(sim.Message{Payload: Msg{R: 4, P: PhaseReport, V: 1, Valued: true}})
+	if !ok || r != 4 || ph != PhaseReport || v != 1 {
+		t.Fatalf("got (%d,%v,%d,%v)", r, ph, v, ok)
+	}
+	if _, _, _, ok := ExtractVote(sim.Message{Payload: Msg{R: 4, P: PhaseProposal, Valued: false}}); ok {
+		t.Fatal("'?' proposal classified as valued")
+	}
+	if _, _, _, ok := ExtractVote(sim.Message{Payload: 42}); ok {
+		t.Fatal("foreign payload classified as vote")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	p, err := New(0, 9, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Snapshot(), "r=1 p=1 x=1 out=_"; got != want {
+		t.Fatalf("Snapshot = %q, want %q", got, want)
+	}
+}
+
+func TestResetRestartsProtocol(t *testing.T) {
+	p, err := New(0, 9, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Send() // drain initial broadcast
+	p.Reset()
+	msgs := p.Send()
+	if len(msgs) != 9 {
+		t.Fatalf("after reset, re-broadcast %d messages, want 9", len(msgs))
+	}
+	if r, ph := p.Round(); r != 1 || ph != PhaseReport {
+		t.Fatalf("after reset round=%d phase=%d", r, ph)
+	}
+}

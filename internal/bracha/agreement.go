@@ -1,0 +1,277 @@
+package bracha
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"asyncagree/internal/rbc"
+	"asyncagree/internal/sim"
+)
+
+// Agreement is one embeddable instance of Bracha agreement over an arbitrary
+// member subset, namespaced by a tag prefix. The full-network Proc wraps a
+// single Agreement; the Kapron-style committee algorithm runs many scoped
+// Agreements (one per group per seed bit) concurrently inside one host.
+type Agreement struct {
+	self    sim.ProcID
+	members []sim.ProcID
+	n, t    int
+	prefix  string
+
+	input   sim.Bit
+	out     sim.Bit
+	decided bool
+
+	round int
+	step  int
+	x     sim.Bit
+	mark  bool
+
+	engine *rbc.Engine
+
+	// acc[r][s][sender] is the accepted Val from sender for (round r, step s).
+	acc map[int]map[int]map[sim.ProcID]Val
+}
+
+// NewAgreement constructs an agreement instance among members (which must
+// contain self), tolerating t Byzantine members, with all reliable-broadcast
+// tags namespaced under prefix. Call Start (or let the host do so) to queue
+// the first broadcast.
+func NewAgreement(self sim.ProcID, members []sim.ProcID, t int, prefix string, input sim.Bit) (*Agreement, error) {
+	ms := append([]sim.ProcID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	engine, err := rbc.NewScopedEngine(self, ms, t)
+	if err != nil {
+		return nil, fmt.Errorf("bracha agreement %q: %w", prefix, err)
+	}
+	return &Agreement{
+		self:    self,
+		members: ms,
+		n:       len(ms),
+		t:       t,
+		prefix:  prefix,
+		input:   input,
+		round:   1,
+		step:    1,
+		x:       input,
+		engine:  engine,
+		acc:     make(map[int]map[int]map[sim.ProcID]Val),
+	}, nil
+}
+
+// Start queues the round-1 step-1 broadcast.
+func (a *Agreement) Start() { a.broadcastStep() }
+
+// Output returns the decision, if reached.
+func (a *Agreement) Output() (sim.Bit, bool) { return a.out, a.decided }
+
+// Round returns the current (round, step).
+func (a *Agreement) Round() (round, step int) { return a.round, a.step }
+
+// Value returns the current estimate.
+func (a *Agreement) Value() sim.Bit { return a.x }
+
+// Members returns the member list (shared backing; read-only).
+func (a *Agreement) Members() []sim.ProcID { return a.members }
+
+// Flush drains queued outgoing messages.
+func (a *Agreement) Flush() []sim.Message { return a.engine.Flush() }
+
+func (a *Agreement) label(round, step int) string {
+	return a.prefix + "/r" + strconv.Itoa(round) + "s" + strconv.Itoa(step)
+}
+
+// parseAgreementLabel inverts label for this instance's prefix.
+func (a *Agreement) parseLabel(l string) (round, step int, ok bool) {
+	rest, found := strings.CutPrefix(l, a.prefix+"/")
+	if !found {
+		return 0, 0, false
+	}
+	return parseRoundStep(rest)
+}
+
+// parseRoundStep parses "r<round>s<step>".
+func parseRoundStep(l string) (round, step int, ok bool) {
+	if len(l) < 4 || l[0] != 'r' {
+		return 0, 0, false
+	}
+	sIdx := strings.IndexByte(l, 's')
+	if sIdx < 2 || sIdx == len(l)-1 {
+		return 0, 0, false
+	}
+	r, err1 := strconv.Atoi(l[1:sIdx])
+	s, err2 := strconv.Atoi(l[sIdx+1:])
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return r, s, true
+}
+
+// Handles reports whether the message belongs to this instance (an RBC
+// message whose tag label carries the instance prefix).
+func (a *Agreement) Handles(m sim.Message) bool {
+	msg, ok := m.Payload.(rbc.Msg)
+	if !ok {
+		return false
+	}
+	_, _, ok = a.parseLabel(msg.T.Label)
+	return ok
+}
+
+// Handle processes one incoming message and advances the state machine.
+func (a *Agreement) Handle(m sim.Message, r sim.RandSource) {
+	for _, acc := range a.engine.Handle(m) {
+		round, step, ok := a.parseLabel(acc.T.Label)
+		if !ok || step < 1 || step > 3 {
+			continue
+		}
+		val, ok := acc.Value.(Val)
+		if !ok {
+			continue
+		}
+		byStep := a.acc[round]
+		if byStep == nil {
+			byStep = make(map[int]map[sim.ProcID]Val, 3)
+			a.acc[round] = byStep
+		}
+		bySender := byStep[step]
+		if bySender == nil {
+			bySender = make(map[sim.ProcID]Val, a.n)
+			byStep[step] = bySender
+		}
+		if _, dup := bySender[acc.T.Sender]; dup {
+			continue
+		}
+		bySender[acc.T.Sender] = val
+	}
+	a.progress(r)
+}
+
+func (a *Agreement) broadcastStep() {
+	a.engine.Broadcast(a.label(a.round, a.step), Val{V: a.x, D: a.mark && a.step == 3})
+}
+
+// countVals tallies accepted values for (round, step) over all senders.
+func (a *Agreement) countVals(round, step int) [2]int {
+	var count [2]int
+	for _, v := range a.acc[round][step] {
+		count[v.V]++
+	}
+	return count
+}
+
+// validStep returns the accepted values for (round, step) that pass
+// Bracha's message validation (see the package comment).
+func (a *Agreement) validStep(round, step int) map[sim.ProcID]Val {
+	all := a.acc[round][step]
+	if step == 1 {
+		return all
+	}
+	prev := a.countVals(round, step-1)
+	valid := make(map[sim.ProcID]Val, len(all))
+	for q, v := range all {
+		switch {
+		case step == 2:
+			if 2*prev[v.V] > a.n-a.t {
+				valid[q] = v
+			}
+		case step == 3 && !v.D:
+			valid[q] = v
+		case step == 3:
+			if 2*prev[v.V] > a.n {
+				valid[q] = v
+			}
+		}
+	}
+	return valid
+}
+
+// progress advances through steps while the current step's wait threshold
+// (n-t validated accepted values) is met.
+func (a *Agreement) progress(r sim.RandSource) {
+	for {
+		cur := a.validStep(a.round, a.step)
+		if len(cur) < a.n-a.t {
+			return
+		}
+		switch a.step {
+		case 1:
+			var count [2]int
+			for _, v := range cur {
+				count[v.V]++
+			}
+			if count[1] > count[0] {
+				a.x = 1
+			} else {
+				a.x = 0
+			}
+			a.step = 2
+		case 2:
+			var count [2]int
+			for _, v := range cur {
+				count[v.V]++
+			}
+			a.mark = false
+			for v := sim.Bit(0); v <= 1; v++ {
+				if 2*count[v] > a.n {
+					a.x, a.mark = v, true
+				}
+			}
+			a.step = 3
+		case 3:
+			var marked [2]int
+			for _, v := range cur {
+				if v.D {
+					marked[v.V]++
+				}
+			}
+			switch {
+			case marked[0] >= 2*a.t+1:
+				a.decide(0)
+				a.x = 0
+			case marked[1] >= 2*a.t+1:
+				a.decide(1)
+				a.x = 1
+			case marked[0] >= a.t+1:
+				a.x = 0
+			case marked[1] >= a.t+1:
+				a.x = 1
+			default:
+				a.x = sim.Bit(r.Bit())
+			}
+			a.mark = false
+			delete(a.acc, a.round)
+			round := a.round
+			a.engine.Forget(func(tag rbc.Tag) bool {
+				r0, _, ok := a.parseLabel(tag.Label)
+				return ok && r0 <= round-1
+			})
+			a.round++
+			a.step = 1
+		}
+		a.broadcastStep()
+	}
+}
+
+func (a *Agreement) decide(v sim.Bit) {
+	if !a.decided {
+		a.out, a.decided = v, true
+	}
+}
+
+// InstanceCount exposes the engine's live RBC instance count (memory
+// accounting).
+func (a *Agreement) InstanceCount() int { return a.engine.InstanceCount() }
+
+// Reset erases all protocol state and restarts from round 1.
+func (a *Agreement) Reset() {
+	a.round, a.step = 1, 1
+	a.x = a.input
+	a.mark = false
+	a.decided = false
+	a.acc = make(map[int]map[int]map[sim.ProcID]Val)
+	a.engine.Reset()
+	a.broadcastStep()
+}

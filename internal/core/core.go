@@ -1,0 +1,326 @@
+// Package core implements the paper's Section 3 agreement algorithm: the
+// Ben-Or/Bracha-style threshold protocol that achieves measure-one
+// correctness and termination against the strongly adaptive (resetting)
+// adversary for t < n/6 (Theorem 4).
+//
+// Per processor p the algorithm keeps a round number r_p (starting at 1) and
+// a current value x_p (starting at the input bit) and loops:
+//
+//	step 1: send (r_p, x_p) to all processors.
+//	step 2: wait for T1 messages (r_q, x_q) with r_q = r_p.
+//	step 3: if >= T2 of them carry the same bit v, write v to the output bit
+//	        (if unwritten). If >= T3 carry the same bit v, set x_p = v;
+//	        otherwise set x_p to a fresh uniformly random bit.
+//	step 4: r_p += 1; goto step 1.
+//
+// Reset handling: a processor that detects it was reset refrains from
+// sending, waits for T1 messages sharing a common round value r, adopts that
+// round, and re-enters at step 3.
+//
+// Theorem 4 requires n-2t >= T1 >= T2 >= T3+t and 2*T3 > n, achievable for
+// t < n/6 with the defaults T1 = T2 = n-2t, T3 = n-3t.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"asyncagree/internal/sim"
+)
+
+// Thresholds holds the three protocol thresholds T1 >= T2 >= T3.
+type Thresholds struct {
+	T1, T2, T3 int
+}
+
+// DefaultThresholds returns the Theorem 4 defaults T1 = T2 = n-2t,
+// T3 = n-3t, which satisfy the constraints exactly when t < n/6.
+func DefaultThresholds(n, t int) (Thresholds, error) {
+	th := Thresholds{T1: n - 2*t, T2: n - 2*t, T3: n - 3*t}
+	if err := th.Validate(n, t); err != nil {
+		return Thresholds{}, err
+	}
+	return th, nil
+}
+
+// Validate checks the Theorem 4 constraints:
+// n-2t >= T1 >= T2 >= T3+t and 2*T3 > n (which also gives 2*T2 > n).
+func (th Thresholds) Validate(n, t int) error {
+	switch {
+	case t < 0 || t >= n:
+		return fmt.Errorf("core: need 0 <= t < n, got t=%d n=%d", t, n)
+	case th.T1 > n-2*t:
+		return fmt.Errorf("core: T1=%d > n-2t=%d", th.T1, n-2*t)
+	case th.T1 < th.T2:
+		return fmt.Errorf("core: T1=%d < T2=%d", th.T1, th.T2)
+	case th.T2 < th.T3+t:
+		return fmt.Errorf("core: T2=%d < T3+t=%d", th.T2, th.T3+t)
+	case 2*th.T3 <= n:
+		return fmt.Errorf("core: 2*T3=%d <= n=%d", 2*th.T3, n)
+	case th.T1 <= 0:
+		return fmt.Errorf("core: T1=%d must be positive", th.T1)
+	}
+	return nil
+}
+
+// Feasible reports whether any thresholds satisfying Theorem 4 exist for
+// (n, t). The binding constraints force T3 > n/2 and T1 <= n-2t with
+// T1 >= T3 + t, so feasibility is equivalent to n-2t >= floor(n/2)+1+t,
+// i.e. t < n/6 up to rounding.
+func Feasible(n, t int) bool {
+	_, err := DefaultThresholds(n, t)
+	return err == nil
+}
+
+// Vote is the (r, x) message payload of the protocol.
+type Vote struct {
+	// R is the sender's round number, X its current value.
+	R int
+	X sim.Bit
+}
+
+// ExtractVote exposes the round/value content of a core message to
+// algorithm-agnostic adversaries (notably the split-vote adversary).
+func ExtractVote(m sim.Message) (round int, value sim.Bit, ok bool) {
+	v, isVote := m.Payload.(Vote)
+	if !isVote {
+		return 0, 0, false
+	}
+	return v.R, v.X, true
+}
+
+// Proc is one processor running the Section 3 algorithm. It implements
+// sim.Process.
+type Proc struct {
+	id   sim.ProcID
+	n, t int
+	th   Thresholds
+
+	input sim.Bit
+
+	// Write-once output.
+	out     sim.Bit
+	decided bool
+
+	// round is the current round r_p; syncing marks the post-reset state in
+	// which the round is unknown (the paper's "blank r value").
+	round   int
+	syncing bool
+	x       sim.Bit
+
+	// got[r][q] is the value received from q for round r. Each round's
+	// threshold evaluation happens exactly when the T1-th distinct sender
+	// for the current round arrives.
+	got map[int]map[sim.ProcID]sim.Bit
+
+	// resetCounter implements the paper's reset-detection bookkeeping: it
+	// survives resets and increments on each one.
+	resetCounter int
+
+	outbox []sim.Message
+}
+
+var _ sim.Process = (*Proc)(nil)
+
+// New constructs a processor with the given thresholds. It returns an error
+// if the thresholds violate Theorem 4's constraints.
+func New(id sim.ProcID, n, t int, th Thresholds, input sim.Bit) (*Proc, error) {
+	if err := th.Validate(n, t); err != nil {
+		return nil, err
+	}
+	p := &Proc{
+		id:    id,
+		n:     n,
+		t:     t,
+		th:    th,
+		input: input,
+		round: 1,
+		x:     input,
+		got:   make(map[int]map[sim.ProcID]sim.Bit),
+	}
+	p.queueBroadcast()
+	return p, nil
+}
+
+// NewFactory returns a sim.Config-compatible constructor; it panics only on
+// invalid thresholds, which callers should have validated.
+func NewFactory(n, t int, th Thresholds) func(sim.ProcID, sim.Bit) sim.Process {
+	if err := th.Validate(n, t); err != nil {
+		panic("core: invalid thresholds passed to NewFactory: " + err.Error())
+	}
+	return func(id sim.ProcID, input sim.Bit) sim.Process {
+		p, err := New(id, n, t, th, input)
+		if err != nil {
+			panic("core: " + err.Error()) // unreachable: thresholds validated above
+		}
+		return p
+	}
+}
+
+// ID implements sim.Process.
+func (p *Proc) ID() sim.ProcID { return p.id }
+
+// Input implements sim.Process.
+func (p *Proc) Input() sim.Bit { return p.input }
+
+// Output implements sim.Process.
+func (p *Proc) Output() (sim.Bit, bool) { return p.out, p.decided }
+
+// Round returns the current round number (for adversaries and tests); the
+// second result is false while the processor is resynchronizing after a
+// reset.
+func (p *Proc) Round() (int, bool) { return p.round, !p.syncing }
+
+// Value returns the current value x_p (full-information adversaries may
+// read it).
+func (p *Proc) Value() sim.Bit { return p.x }
+
+// Resets returns the reset counter.
+func (p *Proc) Resets() int { return p.resetCounter }
+
+// queueBroadcast queues (round, x) to all n processors.
+func (p *Proc) queueBroadcast() {
+	for q := 0; q < p.n; q++ {
+		p.outbox = append(p.outbox, sim.Message{
+			From:    p.id,
+			To:      sim.ProcID(q),
+			Payload: Vote{R: p.round, X: p.x},
+		})
+	}
+}
+
+// Send implements sim.Process: it flushes the outbox. A reset processor has
+// an empty outbox until it resynchronizes, implementing "a newly reset
+// processor refrains from sending messages until it resumes normal
+// operation".
+func (p *Proc) Send() []sim.Message {
+	out := p.outbox
+	p.outbox = nil
+	return out
+}
+
+// Deliver implements sim.Process.
+func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
+	v, ok := m.Payload.(Vote)
+	if !ok {
+		return // foreign or corrupted payload: ignore
+	}
+	if !p.syncing && v.R < p.round {
+		return // stale round, irrelevant
+	}
+	byRound := p.got[v.R]
+	if byRound == nil {
+		byRound = make(map[sim.ProcID]sim.Bit, p.th.T1)
+		p.got[v.R] = byRound
+	}
+	if _, dup := byRound[m.From]; dup {
+		return // at most one vote per (sender, round)
+	}
+	byRound[m.From] = v.X
+
+	if p.syncing {
+		// Post-reset: wait for T1 messages sharing a common round value,
+		// adopt it, and re-enter at step 3.
+		if len(byRound) >= p.th.T1 {
+			p.round = v.R
+			p.syncing = false
+			p.evaluate(r)
+		}
+		return
+	}
+	// Normal operation: evaluate the moment the current round completes.
+	// Advancing may complete the next round from already-buffered votes, so
+	// cascade.
+	for !p.syncing {
+		cur := p.got[p.round]
+		if len(cur) < p.th.T1 {
+			return
+		}
+		p.evaluate(r)
+	}
+}
+
+// evaluate performs step 3 and step 4 for the current round, which has
+// gathered at least T1 votes.
+func (p *Proc) evaluate(r sim.RandSource) {
+	votes := p.got[p.round]
+	var count [2]int
+	for _, x := range votes {
+		count[x]++
+	}
+	// step 3: decide at T2, adopt at T3, otherwise flip the local coin.
+	for v := sim.Bit(0); v <= 1; v++ {
+		if count[v] >= p.th.T2 && !p.decided {
+			p.out = v
+			p.decided = true
+		}
+	}
+	switch {
+	case count[0] >= p.th.T3:
+		p.x = 0
+	case count[1] >= p.th.T3:
+		p.x = 1
+	default:
+		p.x = sim.Bit(r.Bit())
+	}
+	// step 4: advance and broadcast; discard old-round bookkeeping.
+	delete(p.got, p.round)
+	p.round++
+	p.queueBroadcast()
+	p.dropStale()
+}
+
+// dropStale discards buffered votes for rounds below the current one.
+func (p *Proc) dropStale() {
+	for r := range p.got {
+		if r < p.round {
+			delete(p.got, r)
+		}
+	}
+}
+
+// Reset implements sim.Process: it erases everything except the input bit,
+// output bit, identity, and the reset counter.
+func (p *Proc) Reset() {
+	p.resetCounter++
+	p.round = 0
+	p.syncing = true
+	p.x = p.input // placeholder; x is re-derived at step 3 on rejoin
+	p.got = make(map[int]map[sim.ProcID]sim.Bit)
+	p.outbox = nil
+}
+
+// Snapshot implements sim.Process. The encoding is
+// "r=<round|sync> x=<x> out=<bit|_> rc=<resets>".
+func (p *Proc) Snapshot() string {
+	var b strings.Builder
+	b.WriteString("r=")
+	if p.syncing {
+		b.WriteString("sync")
+	} else {
+		b.WriteString(strconv.Itoa(p.round))
+	}
+	b.WriteString(" x=")
+	b.WriteByte('0' + byte(p.x))
+	b.WriteString(" out=")
+	if p.decided {
+		b.WriteByte('0' + byte(p.out))
+	} else {
+		b.WriteByte('_')
+	}
+	b.WriteString(" rc=")
+	b.WriteString(strconv.Itoa(p.resetCounter))
+	return b.String()
+}
+
+// ProjectedSnapshot returns the round-free projection (x, out) used by the
+// lower-bound machinery: Hamming distance between decision sets is measured
+// over the decision-relevant part of the state.
+func (p *Proc) ProjectedSnapshot() string {
+	out := "_"
+	if p.decided {
+		out = string('0' + byte(p.out))
+	}
+	return string('0'+byte(p.x)) + out
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/sim"
+)
+
+// The core algorithm's wait threshold T1 <= n-2t leaves slack for t silent
+// processors even after t exclusions, so it also rides out classical
+// crashes (Section 5's model) — these integration tests exercise that.
+
+func TestSurvivesCrashesMidExecution(t *testing.T) {
+	s := newSystem(t, 18, 2, splitInputs(18), 4)
+	adv := &adversary.CrashSchedule{
+		Inner:   adversary.FullDelivery{},
+		CrashAt: map[int][]sim.ProcID{2: {5}, 7: {11}},
+	}
+	res, err := s.RunWindows(adv, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || !res.Agreement || !res.Validity {
+		t.Fatalf("%+v", res)
+	}
+	if !s.Crashed(5) || !s.Crashed(11) {
+		t.Fatal("crashes did not happen")
+	}
+}
+
+func TestSurvivesCrashesAndResetsTogether(t *testing.T) {
+	// The full gauntlet: crashes, random sub-delivery, and resets at once.
+	s := newSystem(t, 24, 3, splitInputs(24), 6)
+	adv := &adversary.CrashSchedule{
+		Inner:   adversary.NewRandomWindows(9, 0.4, 2),
+		CrashAt: map[int][]sim.ProcID{3: {20}},
+	}
+	res, err := s.RunWindows(adv, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("safety: %+v", res)
+	}
+	if !res.AllDecided {
+		t.Fatalf("termination: %+v (decided %d/24)", res, s.DecidedCount())
+	}
+}
+
+func TestStepModeLockstep(t *testing.T) {
+	// The core algorithm also runs under raw step scheduling (not just
+	// lockstep windows): the round bookkeeping must tolerate interleaving.
+	s := newSystem(t, 12, 1, unanimousInputs(12, 1), 2)
+	res, err := s.RunSteps(adversary.NewLockstep(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || res.Decision != 1 || !res.Agreement {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestCrashedProcessorsExcludedFromTermination(t *testing.T) {
+	s := newSystem(t, 12, 1, unanimousInputs(12, 0), 3)
+	if err := s.StepCrash(7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunWindows(adversary.FullDelivery{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided {
+		t.Fatalf("live processors did not all decide: %d/11", s.DecidedCount())
+	}
+	if _, decided := s.DecisionWindow(7); decided {
+		t.Fatal("crashed processor decided")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	exps := All()
+	if len(exps) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if !strings.HasPrefix(e.ID, "E") {
+			t.Fatalf("bad id %q", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	e, err := Get("E4")
+	if err != nil || e.ID != "E4" {
+		t.Fatalf("Get(E4) = %+v, %v", e, err)
+	}
+	if _, err := Get("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment at quick scale and requires
+// the paper's qualitative claims to hold. This is the repository's
+// end-to-end reproduction check.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are expensive")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(ScaleQuick)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result id %q != %q", res.ID, e.ID)
+			}
+			if res.Table == nil || res.Table.String() == "" {
+				t.Fatalf("%s produced no table", e.ID)
+			}
+			if !res.Pass {
+				t.Fatalf("%s FAILED the paper claim:\n%s\nnotes: %v", e.ID, res.Table, res.Notes)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"asyncagree/internal/benor"
+	"asyncagree/internal/bracha"
+	"asyncagree/internal/committee"
+	"asyncagree/internal/core"
+	"asyncagree/internal/paxos"
+	"asyncagree/internal/sim"
+)
+
+// buildSystem constructs a simulator for a named algorithm with its default
+// parameterization.
+func buildSystem(name string, n, t int, inputs []sim.Bit, seed uint64) (*sim.System, error) {
+	var factory func(sim.ProcID, sim.Bit) sim.Process
+	switch name {
+	case "core":
+		th, err := core.DefaultThresholds(n, t)
+		if err != nil {
+			return nil, err
+		}
+		factory = core.NewFactory(n, t, th)
+	case "benor":
+		factory = benor.NewFactory(n, t)
+	case "bracha":
+		factory = bracha.NewFactory(n, t)
+	case "committee":
+		factory = committee.NewFactory(committee.DefaultParams(n))
+	case "paxos":
+		factory = paxos.NewFactory(paxos.Params{N: n, Proposers: []sim.ProcID{0}})
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
+	}
+	return sim.New(sim.Config{N: n, T: t, Seed: seed, Inputs: inputs, NewProcess: factory})
+}
+
+func splitInputs(n int) []sim.Bit {
+	in := make([]sim.Bit, n)
+	for i := range in {
+		in[i] = sim.Bit(i % 2)
+	}
+	return in
+}

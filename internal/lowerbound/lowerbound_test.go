@@ -1,0 +1,149 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"asyncagree/internal/sim"
+)
+
+func TestNewCoreSystem(t *testing.T) {
+	s, th, err := NewCoreSystem(12, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 12 || s.T() != 1 {
+		t.Fatalf("n=%d t=%d", s.N(), s.T())
+	}
+	if th.T1 != 10 || th.T3 != 9 {
+		t.Fatalf("thresholds %+v", th)
+	}
+	// Inputs alternate.
+	if s.Input(0) != 0 || s.Input(1) != 1 {
+		t.Fatal("inputs not split")
+	}
+}
+
+func TestNewCoreSystemRejectsLargeT(t *testing.T) {
+	if _, _, err := NewCoreSystem(12, 2, 1); err == nil {
+		t.Fatal("t = n/6 accepted")
+	}
+}
+
+func TestProjectConfiguration(t *testing.T) {
+	s, _, err := NewCoreSystem(12, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProjectConfiguration(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 12 {
+		t.Fatalf("projection dim %d", len(p))
+	}
+	// Initially x = input, out unwritten: codes alternate 0, 3.
+	for i, v := range p {
+		want := 3 * (i % 2)
+		if v != want {
+			t.Fatalf("projection[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestDecisionSetsNonEmptyAndLabeled(t *testing.T) {
+	z0, z1, err := DecisionSets(12, 1, 8, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z0.Len()+z1.Len() == 0 {
+		t.Fatal("no decided configurations sampled")
+	}
+	// Every point in z0 must contain a processor with outCode 1 (decided 0).
+	for _, p := range z0.Points() {
+		found := false
+		for _, c := range p {
+			if c%3 == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("z0 point %v has no 0-decision", p)
+		}
+	}
+	for _, p := range z1.Points() {
+		found := false
+		for _, c := range p {
+			if c%3 == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("z1 point %v has no 1-decision", p)
+		}
+	}
+}
+
+func TestMeasureSeparationHolds(t *testing.T) {
+	// Lemma 11 on the sample: Delta(Z^0_0, Z^0_1) > t.
+	res, err := MeasureSeparation(12, 1, 10, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("separation claim failed: %+v", res)
+	}
+	if res.Z0Size+res.Z1Size == 0 {
+		t.Fatal("vacuous sample")
+	}
+}
+
+func TestStallSeriesGrows(t *testing.T) {
+	series, err := StallSeries([]int{8, 16, 24}, 1.0/8, 12, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series length %d", len(series))
+	}
+	// The mean stall must grow with n (the exponential-slowness shape).
+	if !(series[0].Summary.Mean < series[2].Summary.Mean) {
+		t.Fatalf("stall does not grow: %v vs %v", series[0].Summary.Mean, series[2].Summary.Mean)
+	}
+	// The adversary should almost never be beaten per window at n=24.
+	if series[2].GaveUpFraction > 0.2 {
+		t.Fatalf("adversary beaten too often at n=24: %v", series[2].GaveUpFraction)
+	}
+	fit, ok := FitGrowth(series)
+	if !ok {
+		t.Fatal("growth fit failed")
+	}
+	if fit.Alpha <= 0 {
+		t.Fatalf("growth exponent alpha = %v, want positive", fit.Alpha)
+	}
+}
+
+func TestSurvivalCurveMonotone(t *testing.T) {
+	ws := []int{1, 5, 20, 80}
+	curve, err := SurvivalCurve(16, 2, ws, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(ws) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-9 {
+			t.Fatalf("survival curve not non-increasing: %v", curve)
+		}
+	}
+	if curve[0] < 0.9 {
+		t.Fatalf("P[no decision within 1 window] = %v, want ~1", curve[0])
+	}
+}
+
+func TestClassifyCoreVote(t *testing.T) {
+	info := ClassifyCoreVote(sim.Message{Payload: "junk"})
+	if info.HasValue {
+		t.Fatal("junk classified as vote")
+	}
+}

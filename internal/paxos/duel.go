@@ -1,0 +1,108 @@
+package paxos
+
+import "asyncagree/internal/sim"
+
+// DuelScheduler is the classic dueling-proposers adversarial schedule, made
+// precise with full information: every non-Accept message is delivered
+// promptly (fair, round-robin), but an Accept(b, v) message is withheld
+// until a majority of acceptors have already promised a ballot above b — at
+// which point delivering it can only produce NACKs. Proposers therefore
+// alternate invalidating each other's ballots forever.
+//
+// Note every message IS eventually delivered (once invalidated), so the
+// schedule satisfies the crash-model liveness constraint; it is pure
+// scheduling, no faults at all — exactly the FLP-style worst case Paxos
+// does not terminate under.
+type DuelScheduler struct {
+	inner    lockstepLike
+	deferred map[int64]bool
+}
+
+var _ sim.StepAdversary = (*DuelScheduler)(nil)
+
+// lockstepLike is a minimal internal re-implementation of round-robin
+// send-then-deliver scheduling with a delivery filter (duplicating
+// adversary.Lockstep here avoids an import cycle: the adversary package
+// must stay algorithm-agnostic).
+type lockstepLike struct {
+	sendNext int
+	inSend   bool
+	deliverQ []int64
+}
+
+// NewDuelScheduler returns a dueling scheduler.
+func NewDuelScheduler() *DuelScheduler {
+	return &DuelScheduler{
+		inner:    lockstepLike{inSend: true},
+		deferred: make(map[int64]bool),
+	}
+}
+
+// NextStep implements sim.StepAdversary.
+func (d *DuelScheduler) NextStep(s *sim.System) (sim.Step, bool) {
+	// First, release any deferred Accept whose ballot is now doomed.
+	for id := range d.deferred {
+		m, ok := s.Buffer().Get(id)
+		if !ok {
+			delete(d.deferred, id)
+			continue
+		}
+		if acc, isAcc := m.Payload.(Accept); isAcc && d.doomed(s, acc.B) {
+			delete(d.deferred, id)
+			return sim.Step{Kind: sim.StepDeliver, MsgID: id}, true
+		}
+	}
+	return d.inner.next(s, func(m sim.Message) bool {
+		if acc, isAcc := m.Payload.(Accept); isAcc && !d.doomed(s, acc.B) {
+			d.deferred[m.ID] = true
+			return false // withhold until the ballot is doomed
+		}
+		return true
+	})
+}
+
+// doomed reports whether a majority of acceptors have promised a ballot
+// strictly above b (so delivering Accept(b) yields only NACKs).
+func (d *DuelScheduler) doomed(s *sim.System, b int) bool {
+	above := 0
+	for i := 0; i < s.N(); i++ {
+		p, ok := s.Proc(sim.ProcID(i)).(*Proc)
+		if ok && p.PromisedBallot() > b {
+			above++
+		}
+	}
+	return above >= s.N()/2+1
+}
+
+// next is the filtered round-robin step generator.
+func (l *lockstepLike) next(s *sim.System, allow func(sim.Message) bool) (sim.Step, bool) {
+	n := s.N()
+	for {
+		if l.inSend {
+			for l.sendNext < n && s.Crashed(sim.ProcID(l.sendNext)) {
+				l.sendNext++
+			}
+			if l.sendNext < n {
+				p := l.sendNext
+				l.sendNext++
+				return sim.Step{Kind: sim.StepSend, Proc: sim.ProcID(p)}, true
+			}
+			l.inSend = false
+			l.deliverQ = s.Buffer().IDs()
+		}
+		for len(l.deliverQ) > 0 {
+			id := l.deliverQ[0]
+			l.deliverQ = l.deliverQ[1:]
+			m, ok := s.Buffer().Get(id)
+			if !ok {
+				continue
+			}
+			if !allow(m) {
+				continue
+			}
+			return sim.Step{Kind: sim.StepDeliver, MsgID: id}, true
+		}
+		l.inSend = true
+		l.sendNext = 0
+	}
+}

@@ -1,0 +1,316 @@
+// Package paxos implements single-decree Paxos (Lamport, "The Part-Time
+// Parliament", TOCS 1998) over the asynchronous simulator, as the
+// deterministic baseline the paper's introduction contrasts with randomized
+// agreement:
+//
+//	"A common approach for tolerating this obstacle [FLP] in practice is to
+//	use an algorithm that terminates as long as worst-case scheduling does
+//	not occur indefinitely. This is a property achieved by the well-known
+//	Paxos algorithm."
+//
+// Every processor plays proposer, acceptor, and learner. Proposers listed in
+// Params.Proposers start proposing their input bit; ballots are
+// round*n + id, so they are unique and totally ordered. A proposer that is
+// rejected (NACK) retries with a ballot above everything it has seen — the
+// retry path that dueling-proposer schedules exploit to livelock the
+// protocol forever, demonstrating that Paxos achieves safety always but
+// termination only under benign scheduling (experiment E11 measures both
+// sides).
+//
+// Safety (agreement and validity) holds unconditionally with t < n/2
+// crashes. A chosen value is flooded with DECIDED messages so every live
+// processor learns it.
+package paxos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"asyncagree/internal/sim"
+)
+
+// Wire payload types.
+type (
+	// Prepare is phase 1a.
+	Prepare struct{ B int }
+	// Promise is phase 1b: a promise not to accept ballots below B, with
+	// the highest accepted proposal so far, if any.
+	Promise struct {
+		B         int
+		AcceptedB int
+		AcceptedV sim.Bit
+		Has       bool
+	}
+	// Accept is phase 2a.
+	Accept struct {
+		B int
+		V sim.Bit
+	}
+	// Accepted is phase 2b.
+	Accepted struct {
+		B int
+		V sim.Bit
+	}
+	// Nack rejects a stale ballot, reporting the ballot promised instead.
+	Nack struct {
+		B        int
+		Promised int
+	}
+	// Decided floods a chosen value.
+	Decided struct{ V sim.Bit }
+)
+
+// Params configures a Paxos system.
+type Params struct {
+	// N is the processor count; a majority (floor(n/2)+1) forms a quorum.
+	N int
+	// Proposers lists the processors that actively propose. One proposer
+	// gives guaranteed termination under fair scheduling; two or more admit
+	// dueling livelock under adversarial scheduling.
+	Proposers []sim.ProcID
+}
+
+// Proc is one Paxos processor. It implements sim.Process.
+type Proc struct {
+	id    sim.ProcID
+	n     int
+	input sim.Bit
+
+	out     sim.Bit
+	decided bool
+
+	proposer bool
+
+	// Acceptor state.
+	promisedB int
+	acceptedB int
+	acceptedV sim.Bit
+	hasAcc    bool
+
+	// Proposer state.
+	round    int
+	ballot   int
+	promises map[sim.ProcID]Promise
+	accepts  map[sim.ProcID]bool
+	phase    int // 0 idle, 1 preparing, 2 accepting
+	propV    sim.Bit
+	maxSeenB int
+
+	outbox []sim.Message
+}
+
+var _ sim.Process = (*Proc)(nil)
+
+// New constructs a Paxos processor.
+func New(id sim.ProcID, p Params, input sim.Bit) (*Proc, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("paxos: n = %d", p.N)
+	}
+	proc := &Proc{id: id, n: p.N, input: input, promisedB: -1, acceptedB: -1, maxSeenB: -1}
+	for _, prop := range p.Proposers {
+		if prop == id {
+			proc.proposer = true
+		}
+	}
+	if proc.proposer {
+		proc.startRound(1)
+	}
+	return proc, nil
+}
+
+// NewFactory returns a sim.Config-compatible constructor.
+func NewFactory(p Params) func(sim.ProcID, sim.Bit) sim.Process {
+	return func(id sim.ProcID, input sim.Bit) sim.Process {
+		proc, err := New(id, p, input)
+		if err != nil {
+			panic("paxos: " + err.Error()) // unreachable: New only rejects n <= 0
+		}
+		return proc
+	}
+}
+
+// ID implements sim.Process.
+func (p *Proc) ID() sim.ProcID { return p.id }
+
+// Input implements sim.Process.
+func (p *Proc) Input() sim.Bit { return p.input }
+
+// Output implements sim.Process.
+func (p *Proc) Output() (sim.Bit, bool) { return p.out, p.decided }
+
+// PromisedBallot exposes the acceptor's promise (full-information
+// schedulers use it to time dueling deliveries).
+func (p *Proc) PromisedBallot() int { return p.promisedB }
+
+// Ballot returns the proposer's current ballot, or -1 for non-proposers.
+func (p *Proc) Ballot() int {
+	if !p.proposer {
+		return -1
+	}
+	return p.ballot
+}
+
+func (p *Proc) quorum() int { return p.n/2 + 1 }
+
+// startRound begins phase 1 with ballot round*n + id.
+func (p *Proc) startRound(round int) {
+	p.round = round
+	p.ballot = round*p.n + int(p.id)
+	p.promises = make(map[sim.ProcID]Promise, p.n)
+	p.accepts = make(map[sim.ProcID]bool, p.n)
+	p.phase = 1
+	p.broadcast(Prepare{B: p.ballot})
+}
+
+func (p *Proc) broadcast(payload any) {
+	for q := 0; q < p.n; q++ {
+		p.outbox = append(p.outbox, sim.Message{From: p.id, To: sim.ProcID(q), Payload: payload})
+	}
+}
+
+func (p *Proc) sendTo(q sim.ProcID, payload any) {
+	p.outbox = append(p.outbox, sim.Message{From: p.id, To: q, Payload: payload})
+}
+
+// Send implements sim.Process.
+func (p *Proc) Send() []sim.Message {
+	out := p.outbox
+	p.outbox = nil
+	return out
+}
+
+// Deliver implements sim.Process.
+func (p *Proc) Deliver(m sim.Message, _ sim.RandSource) {
+	switch msg := m.Payload.(type) {
+	case Prepare:
+		p.trackBallot(msg.B)
+		if msg.B > p.promisedB {
+			p.promisedB = msg.B
+			p.sendTo(m.From, Promise{B: msg.B, AcceptedB: p.acceptedB, AcceptedV: p.acceptedV, Has: p.hasAcc})
+		} else {
+			p.sendTo(m.From, Nack{B: msg.B, Promised: p.promisedB})
+		}
+	case Accept:
+		p.trackBallot(msg.B)
+		if msg.B >= p.promisedB {
+			p.promisedB = msg.B
+			p.acceptedB = msg.B
+			p.acceptedV = msg.V
+			p.hasAcc = true
+			p.sendTo(m.From, Accepted{B: msg.B, V: msg.V})
+		} else {
+			p.sendTo(m.From, Nack{B: msg.B, Promised: p.promisedB})
+		}
+	case Promise:
+		p.onPromise(m.From, msg)
+	case Accepted:
+		p.onAccepted(m.From, msg)
+	case Nack:
+		p.onNack(msg)
+	case Decided:
+		if !p.decided {
+			p.out, p.decided = msg.V, true
+		}
+	}
+}
+
+func (p *Proc) trackBallot(b int) {
+	if b > p.maxSeenB {
+		p.maxSeenB = b
+	}
+}
+
+func (p *Proc) onPromise(from sim.ProcID, msg Promise) {
+	if !p.proposer || p.phase != 1 || msg.B != p.ballot {
+		return
+	}
+	p.promises[from] = msg
+	if len(p.promises) < p.quorum() {
+		return
+	}
+	// Choose the value of the highest accepted ballot among the quorum, or
+	// the proposer's own input.
+	v := p.input
+	bestB := -1
+	for _, pr := range p.promises {
+		if pr.Has && pr.AcceptedB > bestB {
+			bestB = pr.AcceptedB
+			v = pr.AcceptedV
+		}
+	}
+	p.propV = v
+	p.phase = 2
+	p.broadcast(Accept{B: p.ballot, V: v})
+}
+
+func (p *Proc) onAccepted(from sim.ProcID, msg Accepted) {
+	if !p.proposer || p.phase != 2 || msg.B != p.ballot {
+		return
+	}
+	p.accepts[from] = true
+	if len(p.accepts) < p.quorum() {
+		return
+	}
+	// Chosen.
+	if !p.decided {
+		p.out, p.decided = p.propV, true
+	}
+	p.phase = 0
+	p.broadcast(Decided{V: p.propV})
+}
+
+func (p *Proc) onNack(msg Nack) {
+	if !p.proposer || p.phase == 0 || msg.B != p.ballot {
+		return
+	}
+	p.trackBallot(msg.Promised)
+	// Retry with a ballot above everything seen.
+	nextRound := p.maxSeenB/p.n + 1
+	if nextRound <= p.round {
+		nextRound = p.round + 1
+	}
+	p.startRound(nextRound)
+}
+
+// Reset implements sim.Process. Paxos acceptor state must be durable for
+// safety; a reset erases it, and the paper's model is exactly the one where
+// such erasure is adversarial. Like Ben-Or, Paxos is not reset-tolerant;
+// the processor restarts with empty state (safety may then be violated,
+// which experiments demonstrate as a contrast to the core algorithm).
+func (p *Proc) Reset() {
+	out, decided := p.out, p.decided
+	proposer := p.proposer
+	fresh, err := New(p.id, Params{N: p.n}, p.input)
+	if err != nil {
+		return // unreachable: n was validated at construction
+	}
+	*p = *fresh
+	p.proposer = proposer
+	p.out, p.decided = out, decided
+	if p.proposer {
+		p.startRound(1)
+	}
+}
+
+// Snapshot implements sim.Process.
+func (p *Proc) Snapshot() string {
+	var b strings.Builder
+	b.WriteString("promised=")
+	b.WriteString(strconv.Itoa(p.promisedB))
+	b.WriteString(" accepted=")
+	if p.hasAcc {
+		b.WriteString(strconv.Itoa(p.acceptedB))
+		b.WriteByte('/')
+		b.WriteByte('0' + byte(p.acceptedV))
+	} else {
+		b.WriteString("none")
+	}
+	b.WriteString(" out=")
+	if p.decided {
+		b.WriteByte('0' + byte(p.out))
+	} else {
+		b.WriteByte('_')
+	}
+	return b.String()
+}

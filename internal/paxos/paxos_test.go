@@ -1,0 +1,217 @@
+package paxos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/sim"
+)
+
+func newSystem(t *testing.T, n, tt int, proposers []sim.ProcID, inputs []sim.Bit, seed uint64) *sim.System {
+	t.Helper()
+	s, err := sim.New(sim.Config{
+		N: n, T: tt, Seed: seed, Inputs: inputs,
+		NewProcess: NewFactory(Params{N: n, Proposers: proposers}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func inputs(n int, pattern string) []sim.Bit {
+	in := make([]sim.Bit, n)
+	for i := range in {
+		switch pattern {
+		case "ones":
+			in[i] = 1
+		case "split":
+			in[i] = sim.Bit(i % 2)
+		}
+	}
+	return in
+}
+
+func TestSoloProposerDecides(t *testing.T) {
+	for _, pattern := range []string{"ones", "split", ""} {
+		s := newSystem(t, 5, 2, []sim.ProcID{0}, inputs(5, pattern), 1)
+		res, err := s.RunSteps(adversary.NewLockstep(), 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided || !res.Agreement || !res.Validity {
+			t.Fatalf("pattern %q: %+v", pattern, res)
+		}
+		// The solo proposer's own input must win.
+		if res.Decision != s.Input(0) {
+			t.Fatalf("decision %d, want proposer's input %d", res.Decision, s.Input(0))
+		}
+	}
+}
+
+func TestTwoProposersFairSchedulingDecides(t *testing.T) {
+	// Under the fair lockstep scheduler, even two proposers terminate (one
+	// of them wins the race; safety holds).
+	s := newSystem(t, 5, 2, []sim.ProcID{0, 1}, inputs(5, "split"), 3)
+	res, err := s.RunSteps(adversary.NewLockstep(), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || !res.Agreement || !res.Validity {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestDuelingProposersLivelock(t *testing.T) {
+	// The FLP-style worst case: with the dueling schedule no one ever
+	// decides, despite every message being delivered once invalidated.
+	s := newSystem(t, 5, 2, []sim.ProcID{0, 1}, inputs(5, "split"), 7)
+	res, err := s.RunSteps(NewDuelScheduler(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecidedCount() != 0 {
+		t.Fatalf("dueling schedule allowed %d decisions: %+v", s.DecidedCount(), res)
+	}
+	// Proposers must have churned through many ballots (evidence of the
+	// duel, not a stalled system).
+	p0, ok := s.Proc(0).(*Proc)
+	if !ok {
+		t.Fatal("unexpected process type")
+	}
+	if p0.Ballot() < 10*5 {
+		t.Fatalf("proposer 0 ballot %d: duel did not churn", p0.Ballot())
+	}
+}
+
+func TestCrashMinorityStillDecides(t *testing.T) {
+	s := newSystem(t, 5, 2, []sim.ProcID{0}, inputs(5, "ones"), 5)
+	if err := s.StepCrash(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepCrash(4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunSteps(adversary.NewLockstep(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || !res.Agreement || res.Decision != 1 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestProposerCrashBeforeDecideNoUnsafety(t *testing.T) {
+	// Crash the only proposer mid-protocol: no decision, but no safety
+	// violation either.
+	s := newSystem(t, 5, 1, []sim.ProcID{0}, inputs(5, "ones"), 9)
+	lock := adversary.NewLockstep()
+	for i := 0; i < 8; i++ {
+		step, ok := lock.NextStep(s)
+		if !ok {
+			break
+		}
+		switch step.Kind {
+		case sim.StepSend:
+			if _, err := s.StepSend(step.Proc); err != nil {
+				t.Fatal(err)
+			}
+		case sim.StepDeliver:
+			if err := s.StepDeliver(step.MsgID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.StepCrash(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunSteps(lock, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestSafetyPropertyUnderCrashMix(t *testing.T) {
+	// Agreement and validity must hold for any proposers set, crash timing
+	// and input pattern.
+	check := func(seed uint64, pattern uint8, crashRaw uint8) bool {
+		const n, tt = 5, 2
+		in := make([]sim.Bit, n)
+		for i := range in {
+			in[i] = sim.Bit((pattern >> (i % 8)) & 1)
+		}
+		s, err := sim.New(sim.Config{
+			N: n, T: tt, Seed: seed, Inputs: in,
+			NewProcess: NewFactory(Params{N: n, Proposers: []sim.ProcID{0, 1}}),
+		})
+		if err != nil {
+			return false
+		}
+		victim := sim.ProcID(crashRaw) % n
+		sched := adversary.NewLockstep()
+		steps := 0
+		crashAt := int(seed % 50)
+		for steps < 20000 && !s.AllDecided() {
+			if steps == crashAt {
+				_ = s.StepCrash(victim)
+			}
+			step, ok := sched.NextStep(s)
+			if !ok {
+				break
+			}
+			var err error
+			switch step.Kind {
+			case sim.StepSend:
+				if s.Crashed(step.Proc) {
+					steps++
+					continue
+				}
+				_, err = s.StepSend(step.Proc)
+			case sim.StepDeliver:
+				err = s.StepDeliver(step.MsgID)
+			}
+			if err != nil {
+				return false
+			}
+			steps++
+		}
+		return s.AgreementOK() && s.ValidityOK()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChosenValueStable(t *testing.T) {
+	// Once a value is chosen, later ballots must choose the same value
+	// (the Promise carry-over rule). Run proposer 0 to completion, then
+	// have proposer 1 run: it must decide the same value.
+	s := newSystem(t, 5, 2, []sim.ProcID{0, 1}, []sim.Bit{1, 0, 0, 0, 0}, 2)
+	res, err := s.RunSteps(adversary.NewLockstep(), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || !res.Agreement {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	p, err := New(0, Params{N: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Snapshot(), "promised=-1 accepted=none out=_"; got != want {
+		t.Fatalf("Snapshot = %q, want %q", got, want)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Params{N: 0}, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

@@ -1,0 +1,268 @@
+// Package rbc implements Bracha's asynchronous reliable broadcast primitive
+// (PODC 1984), tolerating t < n/3 Byzantine processors.
+//
+// For each broadcast instance (identified by a Tag: the designated sender
+// plus a label), the protocol is:
+//
+//	sender:   send INIT(v) to all.
+//	on INIT(v) from the tag's sender (first one only): send ECHO(v) to all.
+//	on ECHO(v) from ceil((n+t+1)/2) distinct processors: send READY(v).
+//	on READY(v) from t+1 distinct processors: send READY(v) (if not yet).
+//	on READY(v) from 2t+1 distinct processors: accept v.
+//
+// Guarantees with at most t Byzantine processors: if the sender is honest,
+// every honest processor eventually accepts its value (vt); no two honest
+// processors accept different values for the same tag (consistency); if any
+// honest processor accepts, all honest processors eventually accept
+// (totality).
+//
+// The Engine is a protocol component embedded into a sim.Process: Handle
+// consumes incoming messages and reports newly accepted broadcasts; Flush
+// drains the outgoing queue into the host's sending step.
+package rbc
+
+import (
+	"fmt"
+
+	"asyncagree/internal/sim"
+)
+
+// Tag identifies a broadcast instance: the designated sender and a
+// caller-chosen label (e.g. "r3s1" for round 3, step 1).
+type Tag struct {
+	Sender sim.ProcID
+	Label  string
+}
+
+// Kind enumerates the three message types.
+type Kind int
+
+const (
+	// KindInit is the sender's initial message.
+	KindInit Kind = iota + 1
+	// KindEcho is the first-stage amplification.
+	KindEcho
+	// KindReady is the second-stage amplification.
+	KindReady
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInit:
+		return "INIT"
+	case KindEcho:
+		return "ECHO"
+	case KindReady:
+		return "READY"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Msg is the wire payload of the reliable broadcast protocol. Value must be
+// a comparable type (it is used as a map key to count per-value thresholds).
+type Msg struct {
+	T     Tag
+	Kind  Kind
+	Value any
+}
+
+// Accepted reports one completed broadcast.
+type Accepted struct {
+	T     Tag
+	Value any
+}
+
+// Engine runs all reliable-broadcast instances for one host processor.
+//
+// An Engine may be scoped to a subset of the system's processors (see
+// NewScopedEngine): thresholds are relative to the member count and
+// broadcasts go only to members. Scoped engines are how committees run the
+// slow protocol internally in the Kapron-style algorithm.
+type Engine struct {
+	self sim.ProcID
+	n, t int
+
+	// members lists the participating processors, ascending; nil means the
+	// full system 0..n-1. isMember gates incoming traffic.
+	members  []sim.ProcID
+	isMember map[sim.ProcID]bool
+
+	instances map[Tag]*instance
+	outbox    []sim.Message
+}
+
+type instance struct {
+	sentEcho  bool
+	sentReady bool
+	accepted  bool
+	// echoes/readys count distinct processors per value.
+	echoes map[any]map[sim.ProcID]bool
+	readys map[any]map[sim.ProcID]bool
+}
+
+// NewEngine returns an Engine for host processor self in a system of n
+// processors tolerating t Byzantine faults. It returns an error unless
+// 0 <= t and n > 3t.
+func NewEngine(self sim.ProcID, n, t int) (*Engine, error) {
+	if t < 0 || n <= 3*t {
+		return nil, fmt.Errorf("rbc: need n > 3t, got n=%d t=%d", n, t)
+	}
+	return &Engine{self: self, n: n, t: t, instances: make(map[Tag]*instance)}, nil
+}
+
+// NewScopedEngine returns an Engine whose broadcast group is the given
+// member list (which must contain self), tolerating t Byzantine members.
+// It returns an error unless len(members) > 3t.
+func NewScopedEngine(self sim.ProcID, members []sim.ProcID, t int) (*Engine, error) {
+	n := len(members)
+	if t < 0 || n <= 3*t {
+		return nil, fmt.Errorf("rbc: need |members| > 3t, got %d members, t=%d", n, t)
+	}
+	isMember := make(map[sim.ProcID]bool, n)
+	for _, m := range members {
+		isMember[m] = true
+	}
+	if !isMember[self] {
+		return nil, fmt.Errorf("rbc: self %d not in member list", self)
+	}
+	return &Engine{
+		self:      self,
+		n:         n,
+		t:         t,
+		members:   append([]sim.ProcID(nil), members...),
+		isMember:  isMember,
+		instances: make(map[Tag]*instance),
+	}, nil
+}
+
+// EchoThreshold returns the echo count required to send READY:
+// ceil((n+t+1)/2).
+func (e *Engine) EchoThreshold() int { return (e.n + e.t + 2) / 2 }
+
+// ReadyAmplify returns the ready count that triggers READY amplification.
+func (e *Engine) ReadyAmplify() int { return e.t + 1 }
+
+// AcceptThreshold returns the ready count required to accept.
+func (e *Engine) AcceptThreshold() int { return 2*e.t + 1 }
+
+func (e *Engine) inst(t Tag) *instance {
+	in := e.instances[t]
+	if in == nil {
+		in = &instance{
+			echoes: make(map[any]map[sim.ProcID]bool),
+			readys: make(map[any]map[sim.ProcID]bool),
+		}
+		e.instances[t] = in
+	}
+	return in
+}
+
+// Broadcast starts a reliable broadcast with this processor as the sender.
+func (e *Engine) Broadcast(label string, value any) {
+	e.sendAll(Msg{T: Tag{Sender: e.self, Label: label}, Kind: KindInit, Value: value})
+}
+
+func (e *Engine) sendAll(m Msg) {
+	if e.members != nil {
+		for _, q := range e.members {
+			e.outbox = append(e.outbox, sim.Message{From: e.self, To: q, Payload: m})
+		}
+		return
+	}
+	for q := 0; q < e.n; q++ {
+		e.outbox = append(e.outbox, sim.Message{From: e.self, To: sim.ProcID(q), Payload: m})
+	}
+}
+
+// Flush drains the outgoing message queue; the host's Send step forwards
+// these.
+func (e *Engine) Flush() []sim.Message {
+	out := e.outbox
+	e.outbox = nil
+	return out
+}
+
+// PendingOut reports whether messages are queued (hosts use it for their
+// dirty-tracking).
+func (e *Engine) PendingOut() bool { return len(e.outbox) > 0 }
+
+// Handle processes one incoming message and returns newly accepted
+// broadcasts (zero or one — the slice form simplifies hosts). Non-RBC
+// payloads are ignored.
+func (e *Engine) Handle(m sim.Message) []Accepted {
+	msg, ok := m.Payload.(Msg)
+	if !ok {
+		return nil
+	}
+	if e.isMember != nil && !e.isMember[m.From] {
+		return nil // traffic from outside the scope does not count
+	}
+	in := e.inst(msg.T)
+	switch msg.Kind {
+	case KindInit:
+		// Only the tag's designated sender may INIT, and only the first
+		// INIT counts (a Byzantine sender gains nothing by re-initiating).
+		if m.From != msg.T.Sender || in.sentEcho {
+			return nil
+		}
+		in.sentEcho = true
+		e.sendAll(Msg{T: msg.T, Kind: KindEcho, Value: msg.Value})
+	case KindEcho:
+		set := in.echoes[msg.Value]
+		if set == nil {
+			set = make(map[sim.ProcID]bool)
+			in.echoes[msg.Value] = set
+		}
+		if set[m.From] {
+			return nil
+		}
+		set[m.From] = true
+		if len(set) >= e.EchoThreshold() && !in.sentReady {
+			in.sentReady = true
+			e.sendAll(Msg{T: msg.T, Kind: KindReady, Value: msg.Value})
+		}
+	case KindReady:
+		set := in.readys[msg.Value]
+		if set == nil {
+			set = make(map[sim.ProcID]bool)
+			in.readys[msg.Value] = set
+		}
+		if set[m.From] {
+			return nil
+		}
+		set[m.From] = true
+		if len(set) >= e.ReadyAmplify() && !in.sentReady {
+			in.sentReady = true
+			e.sendAll(Msg{T: msg.T, Kind: KindReady, Value: msg.Value})
+		}
+		if len(set) >= e.AcceptThreshold() && !in.accepted {
+			in.accepted = true
+			return []Accepted{{T: msg.T, Value: msg.Value}}
+		}
+	}
+	return nil
+}
+
+// Reset erases all instance state (for hosts subjected to resetting
+// failures).
+func (e *Engine) Reset() {
+	e.instances = make(map[Tag]*instance)
+	e.outbox = nil
+}
+
+// InstanceCount returns the number of live broadcast instances (for memory
+// accounting in long executions).
+func (e *Engine) InstanceCount() int { return len(e.instances) }
+
+// Forget discards instances whose label matches drop, bounding memory in
+// long executions (hosts call it when a round's broadcasts can no longer
+// matter).
+func (e *Engine) Forget(drop func(Tag) bool) {
+	for t := range e.instances {
+		if drop(t) {
+			delete(e.instances, t)
+		}
+	}
+}

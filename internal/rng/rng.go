@@ -1,0 +1,117 @@
+// Package rng provides a small, deterministic, forkable pseudo-random number
+// generator used by every randomized component in this repository.
+//
+// Determinism matters here more than statistical perfection: the paper's
+// adversary is a deterministic function of the partial execution, and the
+// experiments in EXPERIMENTS.md must be exactly replayable from a seed. The
+// generator is splitmix64 (Steele, Lea, Flood 2014), which passes BigCrush on
+// its 64-bit outputs and has a trivially forkable structure.
+//
+// Source is NOT safe for concurrent use; fork one Source per goroutine.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic pseudo-random source. The zero value is a valid
+// source seeded with 0; prefer New for explicit seeding.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// golden is the splitmix64 increment (odd, derived from the golden ratio).
+const golden = 0x9e3779b97f4a7c15
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0,
+// mirroring math/rand semantics.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded values.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Bit returns a uniformly distributed bit (0 or 1). This is the "local coin"
+// every randomized agreement algorithm in the repository flips.
+func (s *Source) Bit() uint8 {
+	return uint8(s.Uint64() >> 63)
+}
+
+// Bool returns a uniformly distributed boolean.
+func (s *Source) Bool() bool {
+	return s.Bit() == 1
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Fork returns a new independent Source derived from this one and the label.
+// Forking is used to give each processor its own random stream (the paper
+// assumes "each processor has its own source of random bits, and all of these
+// sources are unbiased and independent").
+func (s *Source) Fork(label uint64) *Source {
+	// Mix the label through one splitmix64 round so that adjacent labels
+	// yield unrelated streams.
+	z := s.Uint64() + label*golden
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &Source{state: z ^ (z >> 31)}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Subset returns a uniformly random k-element subset of [0, n), sorted
+// ascending. It panics if k > n or k < 0.
+func (s *Source) Subset(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Subset called with k out of range")
+	}
+	// Partial Fisher-Yates over an index slice, then sort by insertion (k is
+	// typically small relative to allocation cost of importing sort).
+	p := s.Perm(n)
+	out := p[:k]
+	insertionSort(out)
+	return out
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

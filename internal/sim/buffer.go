@@ -1,0 +1,128 @@
+package sim
+
+import "sort"
+
+// Buffer is the message buffer of the model: the multiset of sent but not
+// yet delivered messages. The adversary chooses delivery order, so the
+// buffer supports lookup by ID, by recipient, and by (recipient, sender).
+type Buffer struct {
+	nextID int64
+	byID   map[int64]Message
+	// order preserves insertion order of live message IDs for deterministic
+	// iteration; stale entries (already removed from byID) are skipped and
+	// compacted lazily.
+	order []int64
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{byID: make(map[int64]Message)}
+}
+
+// Add assigns the next sequence ID to m, stores it, and returns the stored
+// message (with ID populated).
+func (b *Buffer) Add(m Message) Message {
+	b.nextID++
+	m.ID = b.nextID
+	b.byID[m.ID] = m
+	b.order = append(b.order, m.ID)
+	return m
+}
+
+// Take removes and returns the message with the given ID.
+func (b *Buffer) Take(id int64) (Message, bool) {
+	m, ok := b.byID[id]
+	if !ok {
+		return Message{}, false
+	}
+	delete(b.byID, id)
+	return m, true
+}
+
+// Get returns the message with the given ID without removing it.
+func (b *Buffer) Get(id int64) (Message, bool) {
+	m, ok := b.byID[id]
+	return m, ok
+}
+
+// Len returns the number of buffered messages.
+func (b *Buffer) Len() int {
+	return len(b.byID)
+}
+
+// Pending returns all buffered messages in insertion order. The returned
+// slice is freshly allocated.
+func (b *Buffer) Pending() []Message {
+	out := make([]Message, 0, len(b.byID))
+	b.compact()
+	for _, id := range b.order {
+		if m, ok := b.byID[id]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PendingFor returns the buffered messages addressed to p, in insertion
+// order.
+func (b *Buffer) PendingFor(p ProcID) []Message {
+	var out []Message
+	b.compact()
+	for _, id := range b.order {
+		if m, ok := b.byID[id]; ok && m.To == p {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// OldestFor returns the oldest buffered message addressed to p.
+func (b *Buffer) OldestFor(p ProcID) (Message, bool) {
+	b.compact()
+	for _, id := range b.order {
+		if m, ok := b.byID[id]; ok && m.To == p {
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// DropWhere removes every buffered message for which pred returns true and
+// reports how many were removed. Window mode uses this to discard the
+// undelivered remainder of a window (those messages are never delivered —
+// the senders outside S_i are the "faulty for this window" processors).
+func (b *Buffer) DropWhere(pred func(Message) bool) int {
+	dropped := 0
+	for id, m := range b.byID {
+		if pred(m) {
+			delete(b.byID, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// IDs returns the IDs of all buffered messages, ascending.
+func (b *Buffer) IDs() []int64 {
+	ids := make([]int64, 0, len(b.byID))
+	for id := range b.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// compact drops stale entries from the order slice once they dominate it,
+// keeping Pending iteration amortized linear.
+func (b *Buffer) compact() {
+	if len(b.order) < 2*len(b.byID)+16 {
+		return
+	}
+	live := b.order[:0]
+	for _, id := range b.order {
+		if _, ok := b.byID[id]; ok {
+			live = append(live, id)
+		}
+	}
+	b.order = live
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferAddAssignsSequentialIDs(t *testing.T) {
+	b := NewBuffer()
+	m1 := b.Add(Message{From: 0, To: 1})
+	m2 := b.Add(Message{From: 1, To: 0})
+	if m1.ID != 1 || m2.ID != 2 {
+		t.Fatalf("ids %d, %d", m1.ID, m2.ID)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestBufferTakeRemoves(t *testing.T) {
+	b := NewBuffer()
+	m := b.Add(Message{From: 0, To: 1})
+	got, ok := b.Take(m.ID)
+	if !ok || got.From != 0 || got.To != 1 {
+		t.Fatalf("Take = %+v, %v", got, ok)
+	}
+	if _, ok := b.Take(m.ID); ok {
+		t.Fatal("double Take succeeded")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after take", b.Len())
+	}
+}
+
+func TestBufferGetDoesNotRemove(t *testing.T) {
+	b := NewBuffer()
+	m := b.Add(Message{From: 0, To: 1})
+	if _, ok := b.Get(m.ID); !ok {
+		t.Fatal("Get failed")
+	}
+	if b.Len() != 1 {
+		t.Fatal("Get removed the message")
+	}
+}
+
+func TestBufferPendingForOrder(t *testing.T) {
+	b := NewBuffer()
+	b.Add(Message{From: 0, To: 2})
+	b.Add(Message{From: 1, To: 1})
+	b.Add(Message{From: 2, To: 2})
+	pending := b.PendingFor(2)
+	if len(pending) != 2 || pending[0].From != 0 || pending[1].From != 2 {
+		t.Fatalf("PendingFor = %+v", pending)
+	}
+	oldest, ok := b.OldestFor(2)
+	if !ok || oldest.From != 0 {
+		t.Fatalf("OldestFor = %+v, %v", oldest, ok)
+	}
+	if _, ok := b.OldestFor(9); ok {
+		t.Fatal("OldestFor empty recipient succeeded")
+	}
+}
+
+func TestBufferDropWhere(t *testing.T) {
+	b := NewBuffer()
+	for i := 0; i < 10; i++ {
+		b.Add(Message{From: ProcID(i % 2), To: 3})
+	}
+	dropped := b.DropWhere(func(m Message) bool { return m.From == 0 })
+	if dropped != 5 || b.Len() != 5 {
+		t.Fatalf("dropped %d, len %d", dropped, b.Len())
+	}
+	for _, m := range b.Pending() {
+		if m.From == 0 {
+			t.Fatal("dropped message still pending")
+		}
+	}
+}
+
+func TestBufferIDsSorted(t *testing.T) {
+	b := NewBuffer()
+	for i := 0; i < 20; i++ {
+		b.Add(Message{From: 0, To: 1})
+	}
+	b.DropWhere(func(m Message) bool { return m.ID%3 == 0 })
+	ids := b.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestBufferCompaction(t *testing.T) {
+	// Heavy add/take churn must not leak the order slice.
+	b := NewBuffer()
+	for i := 0; i < 10000; i++ {
+		m := b.Add(Message{From: 0, To: 1})
+		if _, ok := b.Take(m.ID); !ok {
+			t.Fatal("lost message")
+		}
+		if i%100 == 0 {
+			b.Pending() // trigger compaction paths
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if len(b.order) > 1000 {
+		t.Fatalf("order slice leaked: %d entries for empty buffer", len(b.order))
+	}
+}
+
+func TestBufferPendingMatchesLenProperty(t *testing.T) {
+	check := func(ops []uint8) bool {
+		b := NewBuffer()
+		var live []int64
+		for _, op := range ops {
+			if op%3 == 0 || len(live) == 0 {
+				m := b.Add(Message{From: ProcID(op % 4), To: ProcID(op % 5)})
+				live = append(live, m.ID)
+			} else {
+				idx := int(op) % len(live)
+				id := live[idx]
+				live = append(live[:idx], live[idx+1:]...)
+				if _, ok := b.Take(id); !ok {
+					return false
+				}
+			}
+		}
+		return b.Len() == len(live) && len(b.Pending()) == len(live)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

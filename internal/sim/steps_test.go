@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// scriptAdversary replays a fixed list of steps.
+type scriptAdversary struct {
+	steps []Step
+	i     int
+}
+
+func (a *scriptAdversary) NextStep(*System) (Step, bool) {
+	if a.i >= len(a.steps) {
+		return Step{}, false
+	}
+	s := a.steps[a.i]
+	a.i++
+	return s, true
+}
+
+func TestRunStepsExecutesScript(t *testing.T) {
+	s := newTestSystem(t, 2, 0, "ones", 1)
+	adv := &scriptAdversary{steps: []Step{
+		{Kind: StepSend, Proc: 0},
+		{Kind: StepDeliver, MsgID: 1},
+		{Kind: StepDeliver, MsgID: 2},
+	}}
+	res, err := s.RunSteps(adv, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 3 {
+		t.Fatalf("step count = %d, want 3", res.Windows)
+	}
+	// echoProc with decideAt=1 decides after its first delivery.
+	if s.DecidedCount() != 2 {
+		t.Fatalf("decided = %d", s.DecidedCount())
+	}
+}
+
+func TestRunStepsStopsAtBudget(t *testing.T) {
+	s := newTestSystem(t, 2, 0, "split", 0)
+	// An adversary that sends forever.
+	adv := &loopSend{}
+	res, err := s.RunSteps(adv, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 10 {
+		t.Fatalf("executed %d steps, want 10", res.Windows)
+	}
+}
+
+type loopSend struct{ p int }
+
+func (a *loopSend) NextStep(s *System) (Step, bool) {
+	a.p = (a.p + 1) % s.N()
+	return Step{Kind: StepSend, Proc: ProcID(a.p)}, true
+}
+
+func TestRunStepsStopsWhenAllDecided(t *testing.T) {
+	s := newTestSystem(t, 2, 0, "ones", 1)
+	adv := &fullStepper{}
+	res, err := s.RunSteps(adv, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided {
+		t.Fatalf("%+v", res)
+	}
+	if res.Windows >= 1000 {
+		t.Fatal("did not stop at decision")
+	}
+}
+
+// fullStepper sends for all, then delivers whatever exists, repeatedly.
+type fullStepper struct {
+	phase int
+	sends int
+	queue []int64
+}
+
+func (a *fullStepper) NextStep(s *System) (Step, bool) {
+	for {
+		if a.phase == 0 {
+			if a.sends < s.N() {
+				p := a.sends
+				a.sends++
+				return Step{Kind: StepSend, Proc: ProcID(p)}, true
+			}
+			a.phase, a.sends = 1, 0
+			a.queue = s.Buffer().IDs()
+		}
+		for len(a.queue) > 0 {
+			id := a.queue[0]
+			a.queue = a.queue[1:]
+			if _, ok := s.Buffer().Get(id); ok {
+				return Step{Kind: StepDeliver, MsgID: id}, true
+			}
+		}
+		a.phase = 0
+	}
+}
+
+func TestRunStepsBadStepKind(t *testing.T) {
+	s := newTestSystem(t, 2, 0, "split", 0)
+	adv := &scriptAdversary{steps: []Step{{Kind: StepKind(99)}}}
+	if _, err := s.RunSteps(adv, 10); err == nil {
+		t.Fatal("unknown step kind accepted")
+	}
+}
+
+func TestStepResetOnCrashedRejected(t *testing.T) {
+	s := newTestSystem(t, 3, 1, "split", 0)
+	if err := s.StepCrash(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepReset(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestOutputsReturnsCopies(t *testing.T) {
+	s := newTestSystem(t, 2, 0, "ones", 1)
+	vals, oks := s.Outputs()
+	vals[0] = 1
+	oks[0] = true
+	vals2, oks2 := s.Outputs()
+	if vals2[0] == 1 && oks2[0] {
+		t.Fatal("Outputs exposed internal state")
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	cases := map[StepKind]string{
+		StepSend:     "send",
+		StepDeliver:  "deliver",
+		StepReset:    "reset",
+		StepCrash:    "crash",
+		StepKind(42): "StepKind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestStepSendOutOfRange(t *testing.T) {
+	s := newTestSystem(t, 2, 0, "split", 0)
+	if _, err := s.StepSend(5); !errors.Is(err, ErrNoSuchProc) {
+		t.Fatalf("err = %v, want ErrNoSuchProc", err)
+	}
+	if err := s.StepReset(-1); !errors.Is(err, ErrNoSuchProc) {
+		t.Fatalf("err = %v, want ErrNoSuchProc", err)
+	}
+	if err := s.StepCrash(2); !errors.Is(err, ErrNoSuchProc) {
+		t.Fatalf("err = %v, want ErrNoSuchProc", err)
+	}
+}
+
+func TestCorruptValidation(t *testing.T) {
+	s := newTestSystem(t, 3, 1, "split", 0)
+	if err := s.Corrupt(0, nil); err == nil {
+		t.Fatal("nil evil process accepted")
+	}
+	if err := s.Corrupt(9, newEcho(3, 0)(9, 0)); !errors.Is(err, ErrNoSuchProc) {
+		t.Fatalf("err = %v, want ErrNoSuchProc", err)
+	}
+}

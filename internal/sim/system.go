@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"asyncagree/internal/rng"
+)
+
+// Sentinel errors returned by System step and window operations.
+var (
+	// ErrBadWindow indicates a window violating Definition 1 (a sender set
+	// smaller than n-t, or more than t resets).
+	ErrBadWindow = errors.New("sim: window violates acceptable-window constraints")
+	// ErrNoSuchProc indicates an out-of-range processor ID.
+	ErrNoSuchProc = errors.New("sim: no such processor")
+	// ErrNoSuchMessage indicates a delivery of a message not in the buffer.
+	ErrNoSuchMessage = errors.New("sim: no such buffered message")
+	// ErrCrashed indicates a step by or delivery to a crashed processor.
+	ErrCrashed = errors.New("sim: processor has crashed")
+	// ErrFaultBudget indicates the adversary exceeded its fault budget t.
+	ErrFaultBudget = errors.New("sim: fault budget t exceeded")
+	// ErrOutputRewritten indicates a Process violated the write-once output
+	// contract. This is an algorithm bug, surfaced loudly.
+	ErrOutputRewritten = errors.New("sim: write-once output bit was rewritten")
+)
+
+// Config configures a System.
+type Config struct {
+	// N is the number of processors; T the fault budget (resets per window
+	// in window mode, total crashes/corruptions otherwise).
+	N, T int
+	// Seed seeds all randomness; equal seeds give identical executions
+	// under deterministic adversaries.
+	Seed uint64
+	// Inputs are the n input bits.
+	Inputs []Bit
+	// NewProcess constructs the algorithm instance for one processor.
+	NewProcess func(id ProcID, input Bit) Process
+}
+
+// WindowAdversary plans one acceptable window at a time with full
+// information: it is invoked after all sending steps of the window, with the
+// just-sent batch in hand, and returns the sender sets and resets.
+type WindowAdversary interface {
+	PlanDelivery(s *System, batch []Message) Window
+}
+
+// StepAdversary drives step mode: it returns the next fine-grained step, or
+// ok=false to end the execution.
+type StepAdversary interface {
+	NextStep(s *System) (step Step, ok bool)
+}
+
+// EventKind enumerates trace event types.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvWindow EventKind = iota + 1
+	EvSend
+	EvDeliver
+	EvReset
+	EvCrash
+	EvDecide
+)
+
+// Event is a single trace event, emitted through Config-free observation via
+// System.OnEvent.
+type Event struct {
+	Kind   EventKind
+	Window int
+	Proc   ProcID
+	Msg    Message
+	Value  Bit
+}
+
+// System holds the full configuration of the n processors plus the message
+// buffer, and executes adversary-chosen steps. It is not safe for concurrent
+// use; run one System per goroutine.
+type System struct {
+	n, t int
+
+	procs   []Process
+	rngs    []*rng.Source
+	inputs  []Bit
+	crashed []bool
+	// corrupt marks Byzantine-corrupted processors (replaced by adversary
+	// processes); they are excluded from agreement/termination checks.
+	corrupt []bool
+
+	buffer *Buffer
+
+	resetCounts  []int
+	totalCrashes int
+	totalCorrupt int
+
+	windows int
+	steps   int64
+
+	// chainDepth[i] is the maximum Depth over messages processor i has
+	// received; a message sent by i gets Depth = chainDepth[i]+1.
+	chainDepth []int
+
+	// decidedVal/decidedOK mirror processor outputs for write-once
+	// enforcement; decidedWindow records the window (or step, in step mode)
+	// of each decision. firstDecision is -1 until some processor decides.
+	decidedVal    []Bit
+	decidedOK     []bool
+	decidedWindow []int
+	firstDecision int
+
+	// OnEvent, when non-nil, observes every step for tracing.
+	OnEvent func(Event)
+
+	violation error
+}
+
+// New constructs a System, instantiating one Process per processor.
+func New(cfg Config) (*System, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sim: n must be positive, got %d", cfg.N)
+	}
+	if cfg.T < 0 || cfg.T >= cfg.N {
+		return nil, fmt.Errorf("sim: t must satisfy 0 <= t < n, got t=%d n=%d", cfg.T, cfg.N)
+	}
+	if len(cfg.Inputs) != cfg.N {
+		return nil, fmt.Errorf("sim: got %d inputs for n=%d", len(cfg.Inputs), cfg.N)
+	}
+	if cfg.NewProcess == nil {
+		return nil, errors.New("sim: NewProcess must be set")
+	}
+	root := rng.New(cfg.Seed)
+	s := &System{
+		n:             cfg.N,
+		t:             cfg.T,
+		procs:         make([]Process, cfg.N),
+		rngs:          make([]*rng.Source, cfg.N),
+		inputs:        append([]Bit(nil), cfg.Inputs...),
+		crashed:       make([]bool, cfg.N),
+		corrupt:       make([]bool, cfg.N),
+		buffer:        NewBuffer(),
+		resetCounts:   make([]int, cfg.N),
+		chainDepth:    make([]int, cfg.N),
+		decidedVal:    make([]Bit, cfg.N),
+		decidedOK:     make([]bool, cfg.N),
+		decidedWindow: make([]int, cfg.N),
+		firstDecision: -1,
+	}
+	for i := 0; i < cfg.N; i++ {
+		s.rngs[i] = root.Fork(uint64(i))
+		s.procs[i] = cfg.NewProcess(ProcID(i), cfg.Inputs[i])
+		if s.procs[i] == nil {
+			return nil, fmt.Errorf("sim: NewProcess returned nil for processor %d", i)
+		}
+	}
+	return s, nil
+}
+
+// Reseed replaces every processor's randomness source with a fresh stream
+// derived from seed. The lower-bound machinery uses this to sample many
+// independent continuations of the same partial execution (the probability
+// P[window application lands in Z^{k-1}] of Definition 12): future local
+// coins are independent of the past, so reseeding at a configuration is
+// equivalent to conditioning on it.
+func (s *System) Reseed(seed uint64) {
+	root := rng.New(seed)
+	for i := range s.rngs {
+		s.rngs[i] = root.Fork(uint64(i))
+	}
+}
+
+// N returns the number of processors.
+func (s *System) N() int { return s.n }
+
+// T returns the fault budget.
+func (s *System) T() int { return s.t }
+
+// Windows returns the number of completed acceptable windows.
+func (s *System) Windows() int { return s.windows }
+
+// Steps returns the number of fine-grained steps executed.
+func (s *System) Steps() int64 { return s.steps }
+
+// Buffer exposes the message buffer (adversaries have full information).
+func (s *System) Buffer() *Buffer { return s.buffer }
+
+// Proc returns the Process at id (adversaries have full information and may
+// inspect snapshots; mutating it is a contract violation).
+func (s *System) Proc(id ProcID) Process { return s.procs[id] }
+
+// Input returns processor id's input bit.
+func (s *System) Input(id ProcID) Bit { return s.inputs[id] }
+
+// Crashed reports whether processor id has crashed.
+func (s *System) Crashed(id ProcID) bool { return s.crashed[id] }
+
+// Corrupted reports whether processor id has been Byzantine-corrupted.
+func (s *System) Corrupted(id ProcID) bool { return s.corrupt[id] }
+
+// ResetCount returns the number of resets processor id has suffered.
+func (s *System) ResetCount(id ProcID) int { return s.resetCounts[id] }
+
+// ChainDepth returns the maximum received message-chain depth at id.
+func (s *System) ChainDepth(id ProcID) int { return s.chainDepth[id] }
+
+// FirstDecisionWindow returns the window index (0-based) in which the first
+// decision occurred, or -1 if none yet. In step mode the unit is steps.
+func (s *System) FirstDecisionWindow() int { return s.firstDecision }
+
+// DecisionWindow returns the window in which processor id decided and
+// whether it has decided.
+func (s *System) DecisionWindow(id ProcID) (int, bool) {
+	return s.decidedWindow[id], s.decidedOK[id]
+}
+
+// Violation returns the first detected safety violation (write-once output
+// rewritten), or nil. Agreement and validity are checked via AgreementOK and
+// ValidityOK.
+func (s *System) Violation() error { return s.violation }
+
+func (s *System) checkProc(id ProcID) error {
+	if id < 0 || int(id) >= s.n {
+		return fmt.Errorf("%w: %d", ErrNoSuchProc, id)
+	}
+	return nil
+}
+
+// emit sends ev to the observer if one is installed.
+func (s *System) emit(ev Event) {
+	if s.OnEvent != nil {
+		ev.Window = s.windows
+		s.OnEvent(ev)
+	}
+}
+
+// recordOutputs refreshes decision bookkeeping for processor id and enforces
+// the write-once contract.
+func (s *System) recordOutputs(id ProcID) {
+	v, ok := s.procs[id].Output()
+	if !ok {
+		if s.decidedOK[id] && s.violation == nil {
+			s.violation = fmt.Errorf("%w: processor %d un-decided", ErrOutputRewritten, id)
+		}
+		return
+	}
+	if s.decidedOK[id] {
+		if v != s.decidedVal[id] && s.violation == nil {
+			s.violation = fmt.Errorf("%w: processor %d changed %d -> %d", ErrOutputRewritten, id, s.decidedVal[id], v)
+		}
+		return
+	}
+	s.decidedOK[id] = true
+	s.decidedVal[id] = v
+	s.decidedWindow[id] = s.windows
+	if s.firstDecision < 0 {
+		s.firstDecision = s.windows
+	}
+	s.emit(Event{Kind: EvDecide, Proc: id, Value: v})
+}
+
+// stepSend executes a sending step for processor id, returning the messages
+// placed into the buffer.
+func (s *System) stepSend(id ProcID) []Message {
+	s.steps++
+	batch := s.procs[id].Send()
+	out := make([]Message, 0, len(batch))
+	for _, m := range batch {
+		m.From = id // channels are authenticated: the sender cannot forge From
+		if m.To < 0 || int(m.To) >= s.n {
+			continue // drop messages to nonexistent processors
+		}
+		if s.crashed[m.To] {
+			continue // a crashed processor never receives anything
+		}
+		m.Depth = s.chainDepth[id] + 1
+		stored := s.buffer.Add(m)
+		out = append(out, stored)
+		s.emit(Event{Kind: EvSend, Proc: id, Msg: stored})
+	}
+	return out
+}
+
+// deliver executes a receiving step for message m (already removed from the
+// buffer).
+func (s *System) deliver(m Message) {
+	s.steps++
+	if s.chainDepth[m.To] < m.Depth {
+		s.chainDepth[m.To] = m.Depth
+	}
+	s.procs[m.To].Deliver(m, s.rngs[m.To])
+	s.emit(Event{Kind: EvDeliver, Proc: m.To, Msg: m})
+	s.recordOutputs(m.To)
+}
+
+// reset executes a resetting step for processor id.
+func (s *System) reset(id ProcID) {
+	s.steps++
+	s.resetCounts[id]++
+	s.procs[id].Reset()
+	s.emit(Event{Kind: EvReset, Proc: id})
+	s.recordOutputs(id) // output must survive a reset
+}

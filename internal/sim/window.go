@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WindowSend executes the sending steps that open an acceptable window: all
+// non-crashed processors take a sending step. It returns the just-sent batch.
+//
+// In the strongly adaptive model of Sections 2-4 there are no crashes, so
+// all n processors send; the crash-model reuse of windows in Section 5
+// (Definition 19) simply has crashed processors contribute nothing.
+func (s *System) WindowSend() []Message {
+	var batch []Message
+	for i := 0; i < s.n; i++ {
+		if s.crashed[i] {
+			continue
+		}
+		batch = append(batch, s.stepSend(ProcID(i))...)
+	}
+	return batch
+}
+
+// WindowDeliver executes the receiving steps of a window: each processor i
+// receives, in ascending sender order, the batch messages addressed to it
+// whose sender is in senders[i]. Every sender set must have size >= n-t.
+// Batch messages not delivered are dropped (within the window model, a
+// message not delivered in its window is never delivered).
+func (s *System) WindowDeliver(batch []Message, senders [][]ProcID) error {
+	if len(senders) != s.n {
+		return fmt.Errorf("%w: got %d sender sets for n=%d", ErrBadWindow, len(senders), s.n)
+	}
+	allowed := make([]map[ProcID]bool, s.n)
+	for i, set := range senders {
+		if set == nil {
+			continue // nil means all senders
+		}
+		if len(set) < s.n-s.t {
+			return fmt.Errorf("%w: sender set for processor %d has size %d < n-t=%d",
+				ErrBadWindow, i, len(set), s.n-s.t)
+		}
+		allowed[i] = make(map[ProcID]bool, len(set))
+		for _, p := range set {
+			if err := s.checkProc(p); err != nil {
+				return err
+			}
+			allowed[i][p] = true
+		}
+	}
+
+	// Deliver in (receiver, sender, ID) order for determinism.
+	ordered := append([]Message(nil), batch...)
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].To != ordered[b].To {
+			return ordered[a].To < ordered[b].To
+		}
+		if ordered[a].From != ordered[b].From {
+			return ordered[a].From < ordered[b].From
+		}
+		return ordered[a].ID < ordered[b].ID
+	})
+	batchIDs := make(map[int64]bool, len(ordered))
+	for _, m := range ordered {
+		batchIDs[m.ID] = true
+	}
+	for _, m := range ordered {
+		if s.crashed[m.To] {
+			continue
+		}
+		if allowed[m.To] != nil && !allowed[m.To][m.From] {
+			continue
+		}
+		if taken, ok := s.buffer.Take(m.ID); ok {
+			s.deliver(taken)
+		}
+	}
+	// Undelivered remainder of this window's batch is never delivered.
+	s.buffer.DropWhere(func(m Message) bool { return batchIDs[m.ID] })
+	return nil
+}
+
+// WindowResets executes the at most t resetting steps closing a window.
+func (s *System) WindowResets(resets []ProcID) error {
+	if len(resets) > s.t {
+		return fmt.Errorf("%w: %d resets > t=%d", ErrBadWindow, len(resets), s.t)
+	}
+	seen := make(map[ProcID]bool, len(resets))
+	for _, p := range resets {
+		if err := s.checkProc(p); err != nil {
+			return err
+		}
+		if seen[p] {
+			return fmt.Errorf("%w: duplicate reset of processor %d", ErrBadWindow, p)
+		}
+		seen[p] = true
+	}
+	for _, p := range resets {
+		s.reset(p)
+	}
+	return nil
+}
+
+// ApplyWindow runs one full acceptable window described by w.
+func (s *System) ApplyWindow(w Window) error {
+	batch := s.WindowSend()
+	if err := s.WindowDeliver(batch, w.Senders); err != nil {
+		return err
+	}
+	if err := s.WindowResets(w.Resets); err != nil {
+		return err
+	}
+	s.windows++
+	s.emit(Event{Kind: EvWindow})
+	return nil
+}
+
+// RunResult summarizes an execution.
+type RunResult struct {
+	// Windows is the number of acceptable windows executed (or, in step
+	// mode, the number of steps).
+	Windows int
+	// FirstDecision is the 0-based window of the first decision, or -1.
+	FirstDecision int
+	// AllDecided reports whether every live, honest processor decided.
+	AllDecided bool
+	// Agreement and Validity report the safety conditions of Definition 2
+	// over the final configuration.
+	Agreement, Validity bool
+	// Decision is the decided value if at least one processor decided.
+	Decision Bit
+	// MaxChainDepth is the largest message-chain depth received by any
+	// processor (the Section 5 running-time measure).
+	MaxChainDepth int
+}
+
+// ApplyWindowWith runs one full acceptable window planned by adv, giving it
+// full information: it is invoked after the sending steps with the just-sent
+// batch.
+func (s *System) ApplyWindowWith(adv WindowAdversary) error {
+	batch := s.WindowSend()
+	w := adv.PlanDelivery(s, batch)
+	if err := s.WindowDeliver(batch, w.Senders); err != nil {
+		return err
+	}
+	if err := s.WindowResets(w.Resets); err != nil {
+		return err
+	}
+	s.windows++
+	s.emit(Event{Kind: EvWindow})
+	return s.violation
+}
+
+// RunWindows executes acceptable windows planned by adv until every live,
+// honest processor has decided or maxWindows windows have passed. It
+// returns the execution summary and the first error (an illegal window or a
+// detected safety violation).
+func (s *System) RunWindows(adv WindowAdversary, maxWindows int) (RunResult, error) {
+	for s.windows < maxWindows && !s.AllDecided() {
+		if err := s.ApplyWindowWith(adv); err != nil {
+			return s.Result(), err
+		}
+	}
+	return s.Result(), s.violation
+}
+
+// Result summarizes the current configuration.
+func (s *System) Result() RunResult {
+	res := RunResult{
+		Windows:       s.windows,
+		FirstDecision: s.firstDecision,
+		AllDecided:    s.AllDecided(),
+		Agreement:     s.AgreementOK(),
+		Validity:      s.ValidityOK(),
+		MaxChainDepth: s.MaxChainDepth(),
+	}
+	for i := 0; i < s.n; i++ {
+		if s.decidedOK[i] && !s.corrupt[i] {
+			res.Decision = s.decidedVal[i]
+			break
+		}
+	}
+	return res
+}
+
+// AllDecided reports whether every non-crashed, non-corrupted processor has
+// written its output bit.
+func (s *System) AllDecided() bool {
+	for i := 0; i < s.n; i++ {
+		if s.crashed[i] || s.corrupt[i] {
+			continue
+		}
+		if !s.decidedOK[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DecidedCount returns how many honest processors have decided.
+func (s *System) DecidedCount() int {
+	c := 0
+	for i := 0; i < s.n; i++ {
+		if s.decidedOK[i] && !s.corrupt[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// AgreementOK reports whether the configuration contains only agreeing or
+// unwritten honest output bits (Definition 2's first condition).
+func (s *System) AgreementOK() bool {
+	var v Bit
+	have := false
+	for i := 0; i < s.n; i++ {
+		if !s.decidedOK[i] || s.corrupt[i] {
+			continue
+		}
+		if !have {
+			v, have = s.decidedVal[i], true
+			continue
+		}
+		if s.decidedVal[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidityOK reports whether every written honest output equals some input
+// (Definition 2's second condition: with binary values this only bites when
+// inputs are unanimous).
+func (s *System) ValidityOK() bool {
+	has := [2]bool{}
+	for _, in := range s.inputs {
+		has[in] = true
+	}
+	for i := 0; i < s.n; i++ {
+		if s.decidedOK[i] && !s.corrupt[i] && !has[s.decidedVal[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxChainDepth returns the maximum message-chain depth received by any
+// honest processor.
+func (s *System) MaxChainDepth() int {
+	max := 0
+	for i := 0; i < s.n; i++ {
+		if s.corrupt[i] {
+			continue
+		}
+		if s.chainDepth[i] > max {
+			max = s.chainDepth[i]
+		}
+	}
+	return max
+}
+
+// Outputs returns a copy of the decision state: vals[i] is valid only where
+// ok[i] is true.
+func (s *System) Outputs() (vals []Bit, ok []bool) {
+	return append([]Bit(nil), s.decidedVal...), append([]bool(nil), s.decidedOK...)
+}
+
+// ConfigurationSnapshot returns the n-tuple of processor state encodings
+// (the configuration sigma in Sigma^n), used by the lower-bound machinery
+// for Hamming-distance measurements.
+func (s *System) ConfigurationSnapshot() []string {
+	out := make([]string, s.n)
+	for i := range out {
+		out[i] = s.procs[i].Snapshot()
+	}
+	return out
+}

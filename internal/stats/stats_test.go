@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("%+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{10, 20})
+	if s.Mean != 15 || s.Count != 2 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestFitExponentialRecoversParameters(t *testing.T) {
+	// y = 2 * exp(0.3 x), exactly.
+	var xs, ys []float64
+	for x := 1.0; x <= 10; x++ {
+		xs = append(xs, x)
+		ys = append(ys, 2*math.Exp(0.3*x))
+	}
+	fit, ok := FitExponential(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(fit.Alpha-0.3) > 1e-9 || math.Abs(fit.C-2) > 1e-9 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitExponentialSkipsNonPositive(t *testing.T) {
+	fit, ok := FitExponential([]float64{1, 2, 3, 4}, []float64{0, math.E, math.E * math.E, math.E * math.E * math.E})
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(fit.Alpha-1) > 1e-9 {
+		t.Fatalf("Alpha = %v", fit.Alpha)
+	}
+}
+
+func TestFitExponentialTooFewPoints(t *testing.T) {
+	if _, ok := FitExponential([]float64{1}, []float64{2}); ok {
+		t.Fatal("fit with one point succeeded")
+	}
+	if _, ok := FitExponential([]float64{1, 1}, []float64{2, 3}); ok {
+		t.Fatal("fit with degenerate x succeeded")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	check := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), raw...)
+		for i := range sorted {
+			sorted[i] = math.Mod(math.Abs(sorted[i]), 1000)
+			if math.IsNaN(sorted[i]) {
+				sorted[i] = 0
+			}
+		}
+		sortFloats(sorted)
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(sorted, a) <= Quantile(sorted, b)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("n", "mean", "note")
+	tbl.AddRow(8, 123.456, "ok")
+	tbl.AddRow(16, 0.000012, "tiny")
+	out := tbl.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "123.456") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "1.200e-05") {
+		t.Fatalf("scientific formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines (header, sep, 2 rows), got %d:\n%s", len(lines), out)
+	}
+}

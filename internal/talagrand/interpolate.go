@@ -1,0 +1,114 @@
+package talagrand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements the interpolation argument of Lemma 14 (and its
+// Section 5 twin, Lemma 21): given a product distribution p0 that puts
+// weight <= tau on a set Z1 and a product distribution pn that puts weight
+// <= tau on a set Z0, with Delta(Z0, Z1) > t, there is a mixed distribution
+// pi_{j*} that puts weight <= eta := exp(-(t-1)^2/(8n)) on *both* sets.
+//
+// Mix(j) takes the first j coordinates from pn and the rest from p0 —
+// matching the paper's "The first j coordinates of pi_j have the same
+// distributions as in pi_n, while the remaining coordinates have the same
+// distribution as in pi_0."
+
+// Mix returns the interpolated space pi_j: coordinates [0, j) from hi (the
+// paper's pi_n) and [j, n) from lo (the paper's pi_0).
+func Mix(hi, lo Space, j int) (Space, error) {
+	n := hi.Dim()
+	if lo.Dim() != n {
+		return Space{}, fmt.Errorf("talagrand: Mix of spaces with dims %d and %d", n, lo.Dim())
+	}
+	if j < 0 || j > n {
+		return Space{}, fmt.Errorf("talagrand: Mix index %d out of [0, %d]", j, n)
+	}
+	coords := make([]Coordinate, n)
+	copy(coords[:j], hi.Coords[:j])
+	copy(coords[j:], lo.Coords[j:])
+	return Space{Coords: coords}, nil
+}
+
+// Eta returns the paper's eta threshold exp(-(t-1)^2 / (8n)).
+func Eta(n, t int) float64 {
+	return math.Exp(-float64(t-1) * float64(t-1) / (8 * float64(n)))
+}
+
+// Tau returns the paper's tau threshold exp(-t^2 / (8n)).
+func Tau(n, t int) float64 {
+	return math.Exp(-float64(t) * float64(t) / (8 * float64(n)))
+}
+
+// InterpolationResult reports the outcome of FindJStar.
+type InterpolationResult struct {
+	// JStar is the minimal j such that pi_j puts probability <= eta on z0.
+	JStar int
+	// P0AtJStar and P1AtJStar are the measures of z0 and z1 under pi_{j*}.
+	P0AtJStar, P1AtJStar float64
+	// Eta is the threshold used.
+	Eta float64
+}
+
+// ErrNoJStar indicates the premise failed (pi_n itself puts more than eta on
+// z0), which Lemma 14 rules out when tau <= eta.
+var ErrNoJStar = errors.New("talagrand: no crossover index exists")
+
+// FindJStar searches for the paper's j*: the minimal j such that the mix
+// pi_j puts probability <= eta on z0, then evaluates both sets under
+// pi_{j*}. Per Lemma 14, when Delta(z0, z1) > t, P[z0] <= tau under hi and
+// P[z1] <= tau under lo, the result satisfies P0AtJStar <= eta and
+// P1AtJStar <= eta. Measures are exact; use it on enumerable spaces.
+func FindJStar(hi, lo Space, z0, z1 Set, eta float64) (InterpolationResult, error) {
+	n := hi.Dim()
+	for j := 0; j <= n; j++ {
+		pij, err := Mix(hi, lo, j)
+		if err != nil {
+			return InterpolationResult{}, err
+		}
+		p0, err := pij.Measure(z0)
+		if err != nil {
+			return InterpolationResult{}, err
+		}
+		if p0 > eta {
+			continue
+		}
+		p1, err := pij.Measure(z1)
+		if err != nil {
+			return InterpolationResult{}, err
+		}
+		return InterpolationResult{JStar: j, P0AtJStar: p0, P1AtJStar: p1, Eta: eta}, nil
+	}
+	return InterpolationResult{}, ErrNoJStar
+}
+
+// ResampleCoupling verifies the single-coordinate coupling inequality used
+// inside Lemma 14 (equation (1) of the paper): for adjacent mixes pi_{j-1}
+// and pi_j, P_{pi_j}[B(A, 1)] >= P_{pi_{j-1}}[A], because resampling the one
+// differing coordinate moves a point by Hamming distance at most 1. Returns
+// both probabilities; exact measurement.
+func ResampleCoupling(hi, lo Space, j int, a *ExplicitSet) (pjBall, pjm1A float64, err error) {
+	if j < 1 || j > hi.Dim() {
+		return 0, 0, fmt.Errorf("talagrand: coupling index %d out of [1, %d]", j, hi.Dim())
+	}
+	pj, err := Mix(hi, lo, j)
+	if err != nil {
+		return 0, 0, err
+	}
+	pjm1, err := Mix(hi, lo, j-1)
+	if err != nil {
+		return 0, 0, err
+	}
+	pjBall, err = pj.Measure(a.Ball(1))
+	if err != nil {
+		return 0, 0, err
+	}
+	pjm1A, err = pjm1.Measure(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pjBall, pjm1A, nil
+}

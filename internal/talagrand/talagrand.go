@@ -1,0 +1,218 @@
+// Package talagrand implements the probabilistic machinery of Section 4.1 of
+// the paper: finite product probability spaces, Hamming distance between
+// points and sets, the consequence of Talagrand's concentration inequality
+// stated as Lemma 9,
+//
+//	P[A] * (1 - P[B(A, d)]) <= exp(-d^2 / (4n)),
+//
+// and the product-distribution interpolation argument of Lemma 14 (finding
+// the crossover index j* between two product distributions so that the mixed
+// distribution puts small weight on two Hamming-separated sets
+// simultaneously).
+//
+// Measures can be computed exactly (full enumeration, small spaces) or by
+// Monte Carlo sampling (large spaces); experiments E4 and E6 exercise both.
+package talagrand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"asyncagree/internal/rng"
+)
+
+// ErrSpaceTooLarge is returned by exact measurement of spaces whose support
+// product exceeds the enumeration limit.
+var ErrSpaceTooLarge = errors.New("talagrand: space too large for exact enumeration")
+
+// maxEnum bounds exact enumeration (16M points).
+const maxEnum = 1 << 24
+
+// Coordinate is one factor Omega_i of the product space: a finite
+// distribution over values 0..len(Probs)-1.
+type Coordinate struct {
+	// Probs[v] is the probability of value v. Must sum to 1.
+	Probs []float64
+}
+
+// Space is a product probability space Omega_1 x ... x Omega_n.
+type Space struct {
+	Coords []Coordinate
+}
+
+// Point is an element of the product space: Point[i] in [0, len(Coords[i].Probs)).
+type Point []int
+
+// Set is a measurable subset of the space.
+type Set interface {
+	Contains(Point) bool
+}
+
+// PredicateSet adapts a predicate to a Set.
+type PredicateSet func(Point) bool
+
+// Contains implements Set.
+func (f PredicateSet) Contains(p Point) bool { return f(p) }
+
+// UniformBits returns the space {0,1}^n with the uniform product measure —
+// the space of n independent fair local coins.
+func UniformBits(n int) Space {
+	coords := make([]Coordinate, n)
+	for i := range coords {
+		coords[i] = Coordinate{Probs: []float64{0.5, 0.5}}
+	}
+	return Space{Coords: coords}
+}
+
+// BiasedBits returns {0,1}^n where each coordinate is 1 with probability p.
+func BiasedBits(n int, p float64) Space {
+	coords := make([]Coordinate, n)
+	for i := range coords {
+		coords[i] = Coordinate{Probs: []float64{1 - p, p}}
+	}
+	return Space{Coords: coords}
+}
+
+// Dim returns the number of coordinates.
+func (s Space) Dim() int { return len(s.Coords) }
+
+// Validate checks that every coordinate is a probability distribution.
+func (s Space) Validate() error {
+	for i, c := range s.Coords {
+		if len(c.Probs) == 0 {
+			return fmt.Errorf("talagrand: coordinate %d has empty support", i)
+		}
+		sum := 0.0
+		for v, p := range c.Probs {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("talagrand: coordinate %d value %d has probability %v", i, v, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("talagrand: coordinate %d sums to %v", i, sum)
+		}
+	}
+	return nil
+}
+
+// supportSize returns the number of points in the support product, capped at
+// maxEnum+1.
+func (s Space) supportSize() int {
+	size := 1
+	for _, c := range s.Coords {
+		size *= len(c.Probs)
+		if size > maxEnum {
+			return maxEnum + 1
+		}
+	}
+	return size
+}
+
+// Measure computes P[A] exactly by enumerating the support. It returns
+// ErrSpaceTooLarge for spaces beyond the enumeration limit.
+func (s Space) Measure(a Set) (float64, error) {
+	if s.supportSize() > maxEnum {
+		return 0, ErrSpaceTooLarge
+	}
+	total := 0.0
+	s.enumerate(func(p Point, prob float64) {
+		if a.Contains(p) {
+			total += prob
+		}
+	})
+	return total, nil
+}
+
+// enumerate visits every support point with its probability.
+func (s Space) enumerate(visit func(Point, float64)) {
+	n := s.Dim()
+	point := make(Point, n)
+	var rec func(i int, prob float64)
+	rec = func(i int, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if i == n {
+			visit(point, prob)
+			return
+		}
+		for v, pv := range s.Coords[i].Probs {
+			point[i] = v
+			rec(i+1, prob*pv)
+		}
+	}
+	rec(0, 1)
+}
+
+// Sample draws one point.
+func (s Space) Sample(r *rng.Source) Point {
+	p := make(Point, s.Dim())
+	for i, c := range s.Coords {
+		u := r.Float64()
+		acc := 0.0
+		p[i] = len(c.Probs) - 1
+		for v, pv := range c.Probs {
+			acc += pv
+			if u < acc {
+				p[i] = v
+				break
+			}
+		}
+	}
+	return p
+}
+
+// MeasureMC estimates P[A] with `samples` Monte Carlo draws.
+func (s Space) MeasureMC(a Set, samples int, r *rng.Source) float64 {
+	hit := 0
+	for i := 0; i < samples; i++ {
+		if a.Contains(s.Sample(r)) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(samples)
+}
+
+// Hamming returns the Hamming distance between x and y (Definition 6's
+// underlying metric). It panics if lengths differ.
+func Hamming(x, y Point) int {
+	if len(x) != len(y) {
+		panic("talagrand: Hamming on points of different dimension")
+	}
+	d := 0
+	for i := range x {
+		if x[i] != y[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Bound returns the right-hand side of Lemma 9: exp(-d^2/(4n)).
+func Bound(n int, d float64) float64 {
+	return math.Exp(-d * d / (4 * float64(n)))
+}
+
+// CheckLemma9 computes both sides of Lemma 9 for set a at distance d:
+// lhs = P[a] * (1 - P[Ball(a, d)]), rhs = exp(-d^2/(4n)). The ball is
+// supplied by the caller (see ExplicitSet.Ball).
+func CheckLemma9(s Space, a Set, ball Set, d float64) (lhs, rhs float64, err error) {
+	pa, err := s.Measure(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	pb, err := s.Measure(ball)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pa * (1 - pb), Bound(s.Dim(), d), nil
+}
+
+// CheckLemma9MC is the Monte Carlo variant for large spaces.
+func CheckLemma9MC(s Space, a Set, ball Set, d float64, samples int, r *rng.Source) (lhs, rhs float64) {
+	pa := s.MeasureMC(a, samples, r)
+	pb := s.MeasureMC(ball, samples, r)
+	return pa * (1 - pb), Bound(s.Dim(), d)
+}

@@ -1,0 +1,298 @@
+package talagrand
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asyncagree/internal/rng"
+)
+
+func TestUniformBitsMeasure(t *testing.T) {
+	s := UniformBits(10)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.Measure(PredicateSet(func(Point) bool { return true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(all-1) > 1e-12 {
+		t.Fatalf("P[everything] = %v", all)
+	}
+	half, err := s.Measure(PredicateSet(func(p Point) bool { return p[0] == 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half-0.5) > 1e-12 {
+		t.Fatalf("P[x0=0] = %v", half)
+	}
+}
+
+func TestBiasedBitsMeasure(t *testing.T) {
+	s := BiasedBits(8, 0.25)
+	p, err := s.Measure(PredicateSet(func(pt Point) bool { return pt[3] == 1 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("P[x3=1] = %v, want 0.25", p)
+	}
+}
+
+func TestMeasureTooLarge(t *testing.T) {
+	s := UniformBits(40)
+	_, err := s.Measure(PredicateSet(func(Point) bool { return true }))
+	if !errors.Is(err, ErrSpaceTooLarge) {
+		t.Fatalf("err = %v, want ErrSpaceTooLarge", err)
+	}
+}
+
+func TestMeasureMCMatchesExact(t *testing.T) {
+	s := UniformBits(12)
+	set := HammingWeightAtMost(4)
+	exact, err := s.Measure(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := s.MeasureMC(set, 200000, rng.New(1))
+	if math.Abs(exact-mc) > 0.01 {
+		t.Fatalf("exact %v vs MC %v", exact, mc)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	cases := []struct {
+		x, y Point
+		want int
+	}{
+		{Point{0, 0, 0}, Point{0, 0, 0}, 0},
+		{Point{0, 1, 0}, Point{1, 1, 1}, 2},
+		{Point{1, 1}, Point{0, 0}, 2},
+	}
+	for _, c := range cases {
+		if got := Hamming(c.x, c.y); got != c.want {
+			t.Errorf("Hamming(%v, %v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestHammingPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Hamming(Point{0}, Point{0, 1})
+}
+
+func TestExplicitSetBasics(t *testing.T) {
+	e := NewExplicitSet(Point{0, 0, 1}, Point{1, 1, 1}, Point{0, 0, 1})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (dedup)", e.Len())
+	}
+	if !e.Contains(Point{0, 0, 1}) || e.Contains(Point{0, 1, 1}) {
+		t.Fatal("Contains wrong")
+	}
+	if d := e.Dist(Point{0, 1, 1}); d != 1 {
+		t.Fatalf("Dist = %d, want 1", d)
+	}
+	ball := e.Ball(1)
+	if !ball.Contains(Point{0, 1, 1}) || ball.Contains(Point{1, 0, 0}) {
+		t.Fatal("Ball wrong")
+	}
+}
+
+func TestSetDistance(t *testing.T) {
+	a := NewExplicitSet(Point{0, 0, 0, 0})
+	b := NewExplicitSet(Point{1, 1, 1, 1}, Point{0, 0, 1, 1})
+	if d := SetDistance(a, b); d != 2 {
+		t.Fatalf("SetDistance = %d, want 2", d)
+	}
+	if d := SetDistance(a, NewExplicitSet()); d != -1 {
+		t.Fatalf("SetDistance to empty = %d, want -1", d)
+	}
+}
+
+func TestLemma9ExactNeverViolated(t *testing.T) {
+	// Exhaustive check on weight half-spaces: for all n <= 14, all weight
+	// cutoffs k and distances d, the inequality holds exactly. The ball of
+	// a weight half-space is again a weight half-space, so the exact ball
+	// is available in closed form.
+	for n := 2; n <= 14; n += 3 {
+		s := UniformBits(n)
+		for k := 0; k <= n; k++ {
+			for d := 0; d <= n; d++ {
+				a := HammingWeightAtMost(k)
+				ball := WeightBallAtMost(k, d)
+				lhs, rhs, err := CheckLemma9(s, a, ball, float64(d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lhs > rhs+1e-12 {
+					t.Fatalf("Lemma 9 violated: n=%d k=%d d=%d lhs=%v rhs=%v", n, k, d, lhs, rhs)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma9RandomExplicitSets(t *testing.T) {
+	// Property: Lemma 9 holds for random explicit sets in {0,1}^10.
+	r := rng.New(42)
+	s := UniformBits(10)
+	check := func(sizeRaw uint8, dRaw uint8) bool {
+		size := int(sizeRaw)%32 + 1
+		d := int(dRaw) % 11
+		e := NewExplicitSet()
+		for i := 0; i < size; i++ {
+			e.Add(Point(s.Sample(r)))
+		}
+		lhs, rhs, err := CheckLemma9(s, e, e.Ball(d), float64(d))
+		if err != nil {
+			return false
+		}
+		return lhs <= rhs+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma9MC(t *testing.T) {
+	// Large-space Monte Carlo variant: weight half-spaces in {0,1}^64 with
+	// a generous statistical margin.
+	s := UniformBits(64)
+	a := HammingWeightAtMost(24)
+	d := 16
+	lhs, rhs := CheckLemma9MC(s, a, WeightBallAtMost(24, d), float64(d), 50000, rng.New(7))
+	if lhs > rhs+0.02 {
+		t.Fatalf("MC Lemma 9 violated: lhs=%v rhs=%v", lhs, rhs)
+	}
+}
+
+func TestMix(t *testing.T) {
+	hi := BiasedBits(4, 0.9)
+	lo := BiasedBits(4, 0.1)
+	m, err := Mix(hi, lo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coords[0].Probs[1] != 0.9 || m.Coords[1].Probs[1] != 0.9 {
+		t.Fatal("prefix coords not from hi")
+	}
+	if m.Coords[2].Probs[1] != 0.1 || m.Coords[3].Probs[1] != 0.1 {
+		t.Fatal("suffix coords not from lo")
+	}
+	if _, err := Mix(hi, lo, 5); err == nil {
+		t.Fatal("out-of-range j accepted")
+	}
+	if _, err := Mix(hi, BiasedBits(3, 0.1), 1); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestFindJStarPlantedSets(t *testing.T) {
+	// Plant the Lemma 14 situation in {0,1}^12: z0 = low-weight points,
+	// z1 = high-weight points (Delta > t), hi biased to 1 (avoids z0),
+	// lo biased to 0 (avoids z1). FindJStar must locate a mix avoiding
+	// both.
+	const n = 12
+	z0 := HammingWeightAtMost(2)
+	z1 := HammingWeightAtLeast(10)
+	hi := BiasedBits(n, 0.9)
+	lo := BiasedBits(n, 0.1)
+	eta := 0.05
+	res, err := FindJStar(hi, lo, z0, z1, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P0AtJStar > eta {
+		t.Fatalf("P[z0] at j* = %v > eta %v", res.P0AtJStar, eta)
+	}
+	if res.P1AtJStar > eta {
+		t.Fatalf("P[z1] at j* = %v > eta %v", res.P1AtJStar, eta)
+	}
+}
+
+func TestFindJStarNoCrossover(t *testing.T) {
+	// If even pi_n puts large mass on z0, there is no j*.
+	const n = 8
+	z0 := HammingWeightAtMost(7) // almost everything
+	z1 := HammingWeightAtLeast(8)
+	hi := BiasedBits(n, 0.5)
+	lo := BiasedBits(n, 0.5)
+	_, err := FindJStar(hi, lo, z0, z1, 0.001)
+	if !errors.Is(err, ErrNoJStar) {
+		t.Fatalf("err = %v, want ErrNoJStar", err)
+	}
+}
+
+func TestResampleCoupling(t *testing.T) {
+	// Equation (1): P_{pi_j}[B(A,1)] >= P_{pi_{j-1}}[A] for every j and a
+	// collection of explicit sets.
+	const n = 8
+	hi := BiasedBits(n, 0.8)
+	lo := BiasedBits(n, 0.2)
+	r := rng.New(3)
+	s := UniformBits(n)
+	for trial := 0; trial < 20; trial++ {
+		e := NewExplicitSet()
+		for i := 0; i < 10; i++ {
+			e.Add(Point(s.Sample(r)))
+		}
+		for j := 1; j <= n; j++ {
+			ball, prev, err := ResampleCoupling(hi, lo, j, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ball < prev-1e-12 {
+				t.Fatalf("coupling violated at j=%d: P[B(A,1)]=%v < P[A]=%v", j, ball, prev)
+			}
+		}
+	}
+}
+
+func TestEtaTau(t *testing.T) {
+	n, tt := 100, 20
+	tau := Tau(n, tt)
+	eta := Eta(n, tt)
+	if tau >= eta {
+		t.Fatalf("tau %v should be < eta %v", tau, eta)
+	}
+	if want := math.Exp(-400.0 / 800.0); math.Abs(tau-want) > 1e-12 {
+		t.Fatalf("Tau = %v, want %v", tau, want)
+	}
+}
+
+func TestValidateCatchesBadSpaces(t *testing.T) {
+	bad := Space{Coords: []Coordinate{{Probs: []float64{0.5, 0.4}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-normalized space accepted")
+	}
+	empty := Space{Coords: []Coordinate{{}}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty-support space accepted")
+	}
+	neg := Space{Coords: []Coordinate{{Probs: []float64{1.5, -0.5}}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative-probability space accepted")
+	}
+}
+
+func TestSampleRespectsDistribution(t *testing.T) {
+	s := BiasedBits(1, 0.3)
+	r := rng.New(11)
+	ones := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if s.Sample(r)[0] == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("sampled frequency %v, want 0.3", frac)
+	}
+}
