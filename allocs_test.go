@@ -1,0 +1,54 @@
+package asyncagree
+
+import "testing"
+
+// TestApplyWindowAllocs is the allocation-regression guard for the window
+// hot loop: after warmup, one full acceptable window of the core algorithm
+// under full delivery must stay within a small per-window allocation budget.
+// The remaining allocations are the one boxed Vote payload per broadcasting
+// processor (n per window) plus occasional map-churn in the per-round vote
+// bookkeeping; the seed implementation spent ~36n allocations per window.
+func TestApplyWindowAllocs(t *testing.T) {
+	const n = 24
+	cfg := Config{Algorithm: AlgorithmCore, N: n, T: n / 8, Inputs: SplitInputs(n), Seed: 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := FullDelivery()
+	for i := 0; i < 32; i++ { // warm up scratch buffers, pools, and arenas
+		if err := s.ApplyWindowWith(adv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.ApplyWindowWith(adv); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: n payload boxes + slack for amortized map growth. The seed
+	// implementation measured ~855 allocs/window at n=24.
+	if allocs > float64(2*n) {
+		t.Fatalf("ApplyWindow allocates %.1f per window at n=%d, budget %d", allocs, n, 2*n)
+	}
+}
+
+// TestWindowResetsAllocFree guards the reset path of the window pipeline
+// (duplicate detection used to build a map per window).
+func TestWindowResetsAllocFree(t *testing.T) {
+	const n = 16
+	cfg := Config{Algorithm: AlgorithmCore, N: n, T: 2, Inputs: SplitInputs(n), Seed: 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resets := []ProcID{3, 11}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.WindowResets(resets); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("WindowResets allocates %.1f per call, want 0", allocs)
+	}
+}

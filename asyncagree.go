@@ -21,8 +21,11 @@
 //	res, err := sys.RunWindows(adv, 100000)
 //	fmt.Println(res.Windows, res.Agreement, res.Validity)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction results; `go run ./cmd/experiments` regenerates them.
+// See DESIGN.md for the system inventory (and §2 for the allocation-free
+// window pipeline) and EXPERIMENTS.md for the reproduction results;
+// `go run ./cmd/experiments` regenerates them and
+// `go run ./cmd/bench -out BENCH_baseline.json` records the substrate
+// performance baseline.
 package asyncagree
 
 import (

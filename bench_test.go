@@ -9,10 +9,9 @@ import (
 	"testing"
 
 	"asyncagree/internal/adversary"
+	"asyncagree/internal/benchcases"
 	"asyncagree/internal/experiments"
-	"asyncagree/internal/lowerbound"
 	"asyncagree/internal/rng"
-	"asyncagree/internal/sim"
 	"asyncagree/internal/talagrand"
 )
 
@@ -50,23 +49,12 @@ func BenchmarkE13Z1Separation(b *testing.B)    { benchExperiment(b, "E13") }
 // --- Substrate micro-benchmarks -----------------------------------------
 
 // BenchmarkWindowThroughput measures acceptable windows per second for the
-// core algorithm under full delivery (the simulator's hot loop).
+// core algorithm under full delivery (the simulator's hot loop). The body is
+// shared with cmd/bench via internal/benchcases so BENCH_baseline.json and
+// this benchmark cannot drift apart.
 func BenchmarkWindowThroughput(b *testing.B) {
 	for _, n := range []int{12, 24, 48} {
-		b.Run(sizeLabel(n), func(b *testing.B) {
-			cfg := Config{Algorithm: AlgorithmCore, N: n, T: n / 8, Inputs: SplitInputs(n), Seed: 1}
-			s, err := New(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			adv := FullDelivery()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := s.ApplyWindowWith(adv); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		b.Run(sizeLabel(n), benchcases.WindowThroughput(n))
 	}
 }
 
@@ -74,20 +62,7 @@ func BenchmarkWindowThroughput(b *testing.B) {
 // cost.
 func BenchmarkSplitVoteWindow(b *testing.B) {
 	for _, n := range []int{24, 48} {
-		b.Run(sizeLabel(n), func(b *testing.B) {
-			t := n / 8
-			s, th, err := lowerbound.NewCoreSystem(n, t, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			adv := lowerbound.NewSplitVote(th)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := s.ApplyWindowWith(adv); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		b.Run(sizeLabel(n), benchcases.SplitVoteWindow(n))
 	}
 }
 
@@ -147,13 +122,7 @@ func BenchmarkTalagrandMC(b *testing.B) {
 
 // BenchmarkBufferOps measures raw message buffer throughput.
 func BenchmarkBufferOps(b *testing.B) {
-	buf := sim.NewBuffer()
-	for i := 0; i < b.N; i++ {
-		m := buf.Add(sim.Message{From: 0, To: 1})
-		if _, ok := buf.Take(m.ID); !ok {
-			b.Fatal("lost message")
-		}
-	}
+	benchcases.BufferOps()(b)
 }
 
 // BenchmarkRandomWindows measures the chaos adversary's planning cost.

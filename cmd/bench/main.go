@@ -1,0 +1,92 @@
+// Command bench runs the simulator substrate micro-benchmarks through
+// testing.Benchmark and writes the results as JSON, giving every PR a
+// recorded perf trajectory to compare against.
+//
+// Usage:
+//
+//	bench                          # print JSON to stdout
+//	bench -out BENCH_baseline.json # record the committed baseline
+//	bench -benchtime 2s            # more stable numbers
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"asyncagree/internal/benchcases"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "write JSON here instead of stdout")
+		benchtime = fs.Duration("benchtime", time.Second, "target time per benchmark")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		return err
+	}
+
+	var entries []Entry
+	record := func(name string, fn func(b *testing.B)) {
+		res := testing.Benchmark(fn)
+		entries = append(entries, Entry{
+			Name:        name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			N:           res.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
+			name, entries[len(entries)-1].NsPerOp, res.AllocsPerOp(), res.AllocedBytesPerOp())
+	}
+
+	// The benchmark bodies live in internal/benchcases, shared with the root
+	// bench_test.go, so this baseline and CI measure identical code.
+	for _, n := range []int{12, 24, 48} {
+		record(fmt.Sprintf("WindowThroughput/n=%d", n), benchcases.WindowThroughput(n))
+	}
+	record("SplitVoteWindow/n=24", benchcases.SplitVoteWindow(24))
+	record("BufferOps", benchcases.BufferOps())
+
+	doc := struct {
+		Note    string  `json:"note"`
+		Entries []Entry `json:"benchmarks"`
+	}{
+		Note:    "regenerate with: go run ./cmd/bench -out BENCH_baseline.json",
+		Entries: entries,
+	}
+	js, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(js)
+		return err
+	}
+	return os.WriteFile(*out, js, 0o644)
+}

@@ -1,0 +1,3 @@
+module asyncagree
+
+go 1.24

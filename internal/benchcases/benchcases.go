@@ -1,0 +1,67 @@
+// Package benchcases defines the substrate micro-benchmark bodies shared by
+// the root bench_test.go and cmd/bench, so the committed BENCH_baseline.json
+// and the CI benchmark smoke measure exactly the same code and cannot drift
+// apart.
+package benchcases
+
+import (
+	"testing"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/lowerbound"
+	"asyncagree/internal/sim"
+)
+
+// WindowThroughput measures acceptable windows per second for the core
+// algorithm under full delivery (the simulator's hot loop) at size n with
+// t = n/8 and split inputs.
+func WindowThroughput(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		s, _, err := lowerbound.NewCoreSystem(n, n/8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := adversary.FullDelivery{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.ApplyWindowWith(adv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// SplitVoteWindow measures the split-vote adversary's per-window planning
+// plus execution cost at size n with t = n/8.
+func SplitVoteWindow(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		s, th, err := lowerbound.NewCoreSystem(n, n/8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := lowerbound.NewSplitVote(th)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.ApplyWindowWith(adv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BufferOps measures raw message buffer Add/Take throughput.
+func BufferOps() func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		buf := sim.NewBufferFor(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := buf.Add(sim.Message{From: 0, To: 1})
+			if _, ok := buf.Take(m.ID); !ok {
+				b.Fatal("lost message")
+			}
+		}
+	}
+}

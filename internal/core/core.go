@@ -109,16 +109,53 @@ type Proc struct {
 	syncing bool
 	x       sim.Bit
 
-	// got[r][q] is the value received from q for round r. Each round's
-	// threshold evaluation happens exactly when the T1-th distinct sender
-	// for the current round arrives.
-	got map[int]map[sim.ProcID]sim.Bit
+	// got[r] tallies the votes received for round r. Each round's threshold
+	// evaluation happens exactly when the T1-th distinct sender for the
+	// current round arrives. Tallies are recycled through pool so the
+	// steady-state window loop performs no per-round allocation.
+	got  map[int]*roundVotes
+	pool []*roundVotes
 
 	// resetCounter implements the paper's reset-detection bookkeeping: it
 	// survives resets and increments on each one.
 	resetCounter int
 
 	outbox []sim.Message
+}
+
+// roundVotes tallies one round's votes: votes[q] is the bit received from
+// sender q (-1 = none), seen the number of distinct senders recorded, and
+// count the per-value totals the step-3 thresholds are checked against.
+type roundVotes struct {
+	votes []int8
+	seen  int
+	count [2]int
+}
+
+func (rv *roundVotes) clear() {
+	for i := range rv.votes {
+		rv.votes[i] = -1
+	}
+	rv.seen = 0
+	rv.count = [2]int{}
+}
+
+// takeRound fetches a cleared tally from the pool (or allocates one).
+func (p *Proc) takeRound() *roundVotes {
+	if n := len(p.pool); n > 0 {
+		rv := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		return rv
+	}
+	rv := &roundVotes{votes: make([]int8, p.n)}
+	rv.clear()
+	return rv
+}
+
+// releaseRound clears a tally and returns it to the pool.
+func (p *Proc) releaseRound(rv *roundVotes) {
+	rv.clear()
+	p.pool = append(p.pool, rv)
 }
 
 var _ sim.Process = (*Proc)(nil)
@@ -137,7 +174,7 @@ func New(id sim.ProcID, n, t int, th Thresholds, input sim.Bit) (*Proc, error) {
 		input: input,
 		round: 1,
 		x:     input,
-		got:   make(map[int]map[sim.ProcID]sim.Bit),
+		got:   make(map[int]*roundVotes),
 	}
 	p.queueBroadcast()
 	return p, nil
@@ -179,13 +216,16 @@ func (p *Proc) Value() sim.Bit { return p.x }
 // Resets returns the reset counter.
 func (p *Proc) Resets() int { return p.resetCounter }
 
-// queueBroadcast queues (round, x) to all n processors.
+// queueBroadcast queues (round, x) to all n processors. All n copies share
+// one boxed Vote payload: boxing per copy was the single largest allocation
+// source in the window hot loop.
 func (p *Proc) queueBroadcast() {
+	var payload any = Vote{R: p.round, X: p.x}
 	for q := 0; q < p.n; q++ {
 		p.outbox = append(p.outbox, sim.Message{
 			From:    p.id,
 			To:      sim.ProcID(q),
-			Payload: Vote{R: p.round, X: p.x},
+			Payload: payload,
 		})
 	}
 }
@@ -193,10 +233,12 @@ func (p *Proc) queueBroadcast() {
 // Send implements sim.Process: it flushes the outbox. A reset processor has
 // an empty outbox until it resynchronizes, implementing "a newly reset
 // processor refrains from sending messages until it resumes normal
-// operation".
+// operation". The returned slice is valid only until the next
+// Deliver/Reset (the outbox capacity is recycled), per the sim.Process
+// contract.
 func (p *Proc) Send() []sim.Message {
 	out := p.outbox
-	p.outbox = nil
+	p.outbox = p.outbox[:0]
 	return out
 }
 
@@ -209,20 +251,25 @@ func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
 	if !p.syncing && v.R < p.round {
 		return // stale round, irrelevant
 	}
+	if m.From < 0 || int(m.From) >= p.n {
+		return // unauthenticated sender; cannot occur through sim
+	}
 	byRound := p.got[v.R]
 	if byRound == nil {
-		byRound = make(map[sim.ProcID]sim.Bit, p.th.T1)
+		byRound = p.takeRound()
 		p.got[v.R] = byRound
 	}
-	if _, dup := byRound[m.From]; dup {
+	if byRound.votes[m.From] >= 0 {
 		return // at most one vote per (sender, round)
 	}
-	byRound[m.From] = v.X
+	byRound.votes[m.From] = int8(v.X)
+	byRound.seen++
+	byRound.count[v.X]++
 
 	if p.syncing {
 		// Post-reset: wait for T1 messages sharing a common round value,
 		// adopt it, and re-enter at step 3.
-		if len(byRound) >= p.th.T1 {
+		if byRound.seen >= p.th.T1 {
 			p.round = v.R
 			p.syncing = false
 			p.evaluate(r)
@@ -234,7 +281,7 @@ func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
 	// cascade.
 	for !p.syncing {
 		cur := p.got[p.round]
-		if len(cur) < p.th.T1 {
+		if cur == nil || cur.seen < p.th.T1 {
 			return
 		}
 		p.evaluate(r)
@@ -244,11 +291,7 @@ func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
 // evaluate performs step 3 and step 4 for the current round, which has
 // gathered at least T1 votes.
 func (p *Proc) evaluate(r sim.RandSource) {
-	votes := p.got[p.round]
-	var count [2]int
-	for _, x := range votes {
-		count[x]++
-	}
+	count := p.got[p.round].count
 	// step 3: decide at T2, adopt at T3, otherwise flip the local coin.
 	for v := sim.Bit(0); v <= 1; v++ {
 		if count[v] >= p.th.T2 && !p.decided {
@@ -265,6 +308,7 @@ func (p *Proc) evaluate(r sim.RandSource) {
 		p.x = sim.Bit(r.Bit())
 	}
 	// step 4: advance and broadcast; discard old-round bookkeeping.
+	p.releaseRound(p.got[p.round])
 	delete(p.got, p.round)
 	p.round++
 	p.queueBroadcast()
@@ -273,8 +317,9 @@ func (p *Proc) evaluate(r sim.RandSource) {
 
 // dropStale discards buffered votes for rounds below the current one.
 func (p *Proc) dropStale() {
-	for r := range p.got {
+	for r, rv := range p.got {
 		if r < p.round {
+			p.releaseRound(rv)
 			delete(p.got, r)
 		}
 	}
@@ -287,8 +332,11 @@ func (p *Proc) Reset() {
 	p.round = 0
 	p.syncing = true
 	p.x = p.input // placeholder; x is re-derived at step 3 on rejoin
-	p.got = make(map[int]map[sim.ProcID]sim.Bit)
-	p.outbox = nil
+	for r, rv := range p.got {
+		p.releaseRound(rv)
+		delete(p.got, r)
+	}
+	p.outbox = p.outbox[:0]
 }
 
 // Snapshot implements sim.Process. The encoding is

@@ -28,25 +28,27 @@ func runE8(scale Scale) (Result, error) {
 	var xs, ys []float64
 	for _, n := range ns {
 		t := n / 4
-		var chains []int
-		for seed := uint64(1); seed <= uint64(trials); seed++ {
+		chains, err := RunTrials(trials, func(trial int) (int, error) {
 			s, err := sim.New(sim.Config{
-				N: n, T: t, Seed: seed, Inputs: splitInputs(n),
+				N: n, T: t, Seed: uint64(trial + 1), Inputs: splitInputs(n),
 				NewProcess: benor.NewFactory(n, t),
 			})
 			if err != nil {
-				return Result{}, err
+				return 0, err
 			}
 			adv := &adversary.SplitVote{Classify: classifyBenOr, Cap: n / 2}
 			res, err := s.RunWindows(adv, maxW)
 			if err != nil {
-				return Result{}, err
+				return 0, err
 			}
 			chain := res.MaxChainDepth
 			if res.FirstDecision < 0 {
 				chain = maxW // censored
 			}
-			chains = append(chains, chain)
+			return chain, nil
+		})
+		if err != nil {
+			return Result{}, err
 		}
 		sum := stats.SummarizeInts(chains)
 		table.AddRow(n, t, trials, sum.Mean, sum.Median, sum.Max)
@@ -160,17 +162,24 @@ func runE10(scale Scale) (Result, error) {
 			if alg == "bracha" && attack == "adaptive" {
 				continue // no committee to strike; covered by non-adaptive
 			}
+			type trialOut struct {
+				decided, safe bool
+				windows       int
+			}
+			results, err := RunTrials(trials, func(trial int) (trialOut, error) {
+				decided, safe, w, err := run(alg, attack, uint64(trial+1))
+				return trialOut{decided: decided, safe: safe, windows: w}, err
+			})
+			if err != nil {
+				return Result{}, err
+			}
 			var o outcome
-			for seed := uint64(1); seed <= uint64(trials); seed++ {
-				decided, safe, w, err := run(alg, attack, seed)
-				if err != nil {
-					return Result{}, err
-				}
-				if decided {
+			for _, r := range results {
+				if r.decided {
 					o.decided++
-					o.windows = append(o.windows, w)
+					o.windows = append(o.windows, r.windows)
 				}
-				if safe {
+				if r.safe {
 					o.safe++
 				}
 			}
@@ -218,14 +227,13 @@ func runE11(scale Scale) (Result, error) {
 		{"fair lockstep", []sim.ProcID{0, 1}, false},
 		{"dueling", []sim.ProcID{0, 1}, true},
 	} {
-		decided, safe := 0, 0
-		for seed := uint64(1); seed <= uint64(trials); seed++ {
+		results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
 			s, err := sim.New(sim.Config{
-				N: n, T: 2, Seed: seed, Inputs: splitInputs(n),
+				N: n, T: 2, Seed: uint64(trial + 1), Inputs: splitInputs(n),
 				NewProcess: paxos.NewFactory(paxos.Params{N: n, Proposers: cfg.proposers}),
 			})
 			if err != nil {
-				return Result{}, err
+				return sim.RunResult{}, err
 			}
 			var sched sim.StepAdversary
 			if cfg.dueling {
@@ -233,10 +241,13 @@ func runE11(scale Scale) (Result, error) {
 			} else {
 				sched = adversary.NewLockstep()
 			}
-			res, err := s.RunSteps(sched, budget)
-			if err != nil {
-				return Result{}, err
-			}
+			return s.RunSteps(sched, budget)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		decided, safe := 0, 0
+		for _, res := range results {
 			if res.AllDecided {
 				decided++
 			}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"asyncagree/internal/parallel"
 	"asyncagree/internal/stats"
 )
 
@@ -83,6 +84,17 @@ func Get(id string) (Experiment, error) {
 		}
 	}
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// RunTrials fans the independent seeded trials of one experiment across a
+// GOMAXPROCS-wide worker pool and returns the per-trial results ordered by
+// trial index (never by completion), so aggregate tables are byte-identical
+// to a serial loop. Trial fn must derive all randomness from its index and
+// must not share mutable state (every trial builds its own sim.System). On
+// failure the error of the lowest failing index is returned — the same
+// error a serial loop would have surfaced first.
+func RunTrials[T any](trials int, fn func(trial int) (T, error)) ([]T, error) {
+	return parallel.Map(trials, fn)
 }
 
 // verdict formats a pass/fail note.

@@ -31,16 +31,15 @@ func runE1(scale Scale) (Result, error) {
 			return Result{}, err
 		}
 		for _, advName := range []string{"full", "random+resets", "reset-storm", "split-vote"} {
-			var agreeViol, validViol, terminated int
-			var windows []int
-			for seed := uint64(1); seed <= uint64(trials); seed++ {
+			results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
+				seed := uint64(trial + 1)
 				s, err := sim.New(sim.Config{
 					N: n, T: t, Seed: seed,
 					Inputs:     patternInputs(n, seed),
 					NewProcess: core.NewFactory(n, t, th),
 				})
 				if err != nil {
-					return Result{}, err
+					return sim.RunResult{}, err
 				}
 				var adv sim.WindowAdversary
 				switch advName {
@@ -53,10 +52,14 @@ func runE1(scale Scale) (Result, error) {
 				case "split-vote":
 					adv = &adversary.SplitVote{Classify: classifyCore, Cap: th.T3 - 1}
 				}
-				res, err := s.RunWindows(adv, maxWindows)
-				if err != nil {
-					return Result{}, err
-				}
+				return s.RunWindows(adv, maxWindows)
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			var agreeViol, validViol, terminated int
+			var windows []int
+			for _, res := range results {
 				if !res.Agreement {
 					agreeViol++
 				}
@@ -165,17 +168,19 @@ func runE9(scale Scale) (Result, error) {
 	}
 	for _, cfg := range configs {
 		for _, v := range []sim.Bit{0, 1} {
+			results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
+				s, err := buildSystem(cfg.name, cfg.n, cfg.t, unanimousInputs(cfg.n, v), uint64(trial+1))
+				if err != nil {
+					return sim.RunResult{}, err
+				}
+				return s.RunWindows(adversary.FullDelivery{}, cfg.maxW)
+			})
+			if err != nil {
+				return Result{}, err
+			}
 			decidedAll := 0
 			maxFirst := 0
-			for seed := uint64(1); seed <= uint64(trials); seed++ {
-				s, err := buildSystem(cfg.name, cfg.n, cfg.t, unanimousInputs(cfg.n, v), seed)
-				if err != nil {
-					return Result{}, err
-				}
-				res, err := s.RunWindows(adversary.FullDelivery{}, cfg.maxW)
-				if err != nil {
-					return Result{}, err
-				}
+			for _, res := range results {
 				if res.AllDecided && res.Decision == v && res.Agreement && res.Validity {
 					decidedAll++
 				}
@@ -225,14 +230,17 @@ func runE12(scale Scale) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		counts, err := RunTrials(trials, func(trial int) ([2]int, error) {
+			c, w, err := countConflictWindows(n, t, th, uint64(trial+1), windows)
+			return [2]int{c, w}, err
+		})
+		if err != nil {
+			return Result{}, err
+		}
 		conflicts, observed := 0, 0
-		for seed := uint64(1); seed <= uint64(trials); seed++ {
-			c, w, err := countConflictWindows(n, t, th, seed, windows)
-			if err != nil {
-				return Result{}, err
-			}
-			conflicts += c
-			observed += w
+		for _, cw := range counts {
+			conflicts += cw[0]
+			observed += cw[1]
 		}
 		if conflicts > 0 {
 			pass = false

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/core"
+	"asyncagree/internal/sim"
+)
+
+// trialFn is a representative experiment trial: a full adversarial run of
+// the core algorithm whose result depends on every layer of the simulator.
+func trialFn(t *testing.T) func(trial int) (sim.RunResult, error) {
+	t.Helper()
+	const n, tt = 12, 1
+	th, err := core.DefaultThresholds(n, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(trial int) (sim.RunResult, error) {
+		seed := uint64(trial + 1)
+		s, err := sim.New(sim.Config{
+			N: n, T: tt, Seed: seed,
+			Inputs:     patternInputs(n, seed),
+			NewProcess: core.NewFactory(n, tt, th),
+		})
+		if err != nil {
+			return sim.RunResult{}, err
+		}
+		return s.RunWindows(adversary.NewRandomWindows(seed, 0.4, tt), 40000)
+	}
+}
+
+// TestRunTrialsMatchesSerial is the repository's parallel-determinism
+// guarantee: fanning seeded trials across the worker pool yields exactly
+// the results of the serial loop, in the same order.
+func TestRunTrialsMatchesSerial(t *testing.T) {
+	const trials = 24
+	fn := trialFn(t)
+
+	serial := make([]sim.RunResult, trials)
+	for i := range serial {
+		res, err := fn(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+	par, err := RunTrials(trials, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel results diverged from serial:\nserial  %+v\nparallel %+v", serial, par)
+	}
+	// And the parallel path itself must be replayable.
+	again, err := RunTrials(trials, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, again) {
+		t.Fatal("two parallel runs with identical seeds diverged")
+	}
+}
+
+// TestRunTrialsSurfacesLowestError mirrors serial error semantics: the
+// reported failure is the one the serial loop would have hit first.
+func TestRunTrialsSurfacesLowestError(t *testing.T) {
+	sentinel := errors.New("trial failed")
+	_, err := RunTrials(32, func(trial int) (int, error) {
+		if trial >= 5 {
+			return 0, sentinel
+		}
+		return trial, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}

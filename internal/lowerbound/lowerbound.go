@@ -22,6 +22,7 @@ import (
 
 	"asyncagree/internal/adversary"
 	"asyncagree/internal/core"
+	"asyncagree/internal/parallel"
 	"asyncagree/internal/sim"
 	"asyncagree/internal/stats"
 	"asyncagree/internal/talagrand"
@@ -94,48 +95,66 @@ func ProjectConfiguration(s *sim.System) (talagrand.Point, error) {
 // adversaries, and splits them into Z^0_0 (a 0-decision present) and Z^0_1
 // (a 1-decision present) in the projected space.
 func DecisionSets(n, t, trials, maxWindows int) (z0, z1 *talagrand.ExplicitSet, err error) {
-	z0, z1 = talagrand.NewExplicitSet(), talagrand.NewExplicitSet()
-	for seed := uint64(1); seed <= uint64(trials); seed++ {
-		for advPick := 0; advPick < 3; advPick++ {
-			s, th, err := NewCoreSystem(n, t, seed*17+uint64(advPick))
+	// One independent trial per (seed, adversary) pair, fanned across the
+	// worker pool; membership points are merged in trial order afterwards,
+	// so the sampled sets match the serial loop exactly.
+	type sample struct {
+		point talagrand.Point
+		in0s  []bool // per decided processor: decision == 0?
+	}
+	samples, err := parallel.Map(trials*3, func(trial int) (sample, error) {
+		seed := uint64(trial/3 + 1)
+		advPick := trial % 3
+		s, th, err := NewCoreSystem(n, t, seed*17+uint64(advPick))
+		if err != nil {
+			return sample{}, err
+		}
+		var adv sim.WindowAdversary
+		switch advPick {
+		case 0:
+			adv = adversary.FullDelivery{}
+		case 1:
+			adv = adversary.NewRandomWindows(seed, 0.3, t)
+		case 2:
+			adv = NewSplitVote(th)
+		}
+		// Step window by window so the configuration is captured at the
+		// first decision, not at termination.
+		for w := 0; w < maxWindows; w++ {
+			if err := s.ApplyWindowWith(adv); err != nil {
+				return sample{}, err
+			}
+			if s.DecidedCount() == 0 {
+				continue
+			}
+			point, err := ProjectConfiguration(s)
 			if err != nil {
-				return nil, nil, err
+				return sample{}, err
 			}
-			var adv sim.WindowAdversary
-			switch advPick {
-			case 0:
-				adv = adversary.FullDelivery{}
-			case 1:
-				adv = adversary.NewRandomWindows(seed, 0.3, t)
-			case 2:
-				adv = NewSplitVote(th)
+			out := sample{point: point}
+			vals, oks := s.Outputs()
+			for i, ok := range oks {
+				if ok {
+					out.in0s = append(out.in0s, vals[i] == 0)
+				}
 			}
-			// Step window by window so the configuration is captured at the
-			// first decision, not at termination.
-			captured := false
-			for w := 0; w < maxWindows && !captured; w++ {
-				if err := s.ApplyWindowWith(adv); err != nil {
-					return nil, nil, err
-				}
-				if s.DecidedCount() == 0 {
-					continue
-				}
-				point, err := ProjectConfiguration(s)
-				if err != nil {
-					return nil, nil, err
-				}
-				vals, oks := s.Outputs()
-				for i, ok := range oks {
-					if !ok {
-						continue
-					}
-					if vals[i] == 0 {
-						z0.Add(point)
-					} else {
-						z1.Add(point)
-					}
-				}
-				captured = true
+			return out, nil
+		}
+		return sample{}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	z0, z1 = talagrand.NewExplicitSet(), talagrand.NewExplicitSet()
+	for _, sm := range samples {
+		if sm.point == nil {
+			continue // no decision within maxWindows
+		}
+		for _, isZero := range sm.in0s {
+			if isZero {
+				z0.Add(sm.point)
+			} else {
+				z1.Add(sm.point)
 			}
 		}
 	}
@@ -195,25 +214,34 @@ func StallSeries(ns []int, tFrac float64, trials, maxWindows int) ([]StallPoint,
 		if t < 1 {
 			t = 1
 		}
-		point := StallPoint{N: n, T: t}
-		gaveUp, windows := 0, 0
-		for seed := uint64(1); seed <= uint64(trials); seed++ {
-			s, th, err := NewCoreSystem(n, t, seed)
+		type trialOut struct {
+			fd, gaveUp, windows int
+		}
+		results, err := parallel.Map(trials, func(trial int) (trialOut, error) {
+			s, th, err := NewCoreSystem(n, t, uint64(trial+1))
 			if err != nil {
-				return nil, err
+				return trialOut{}, err
 			}
 			adv := NewSplitVote(th)
 			res, err := s.RunWindows(adv, maxWindows)
 			if err != nil {
-				return nil, err
+				return trialOut{}, err
 			}
 			fd := res.FirstDecision
 			if fd < 0 {
 				fd = maxWindows // censored
 			}
-			point.Windows = append(point.Windows, fd)
-			gaveUp += adv.GaveUp
-			windows += adv.Windows
+			return trialOut{fd: fd, gaveUp: adv.GaveUp, windows: adv.Windows}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		point := StallPoint{N: n, T: t}
+		gaveUp, windows := 0, 0
+		for _, r := range results {
+			point.Windows = append(point.Windows, r.fd)
+			gaveUp += r.gaveUp
+			windows += r.windows
 		}
 		if windows > 0 {
 			point.GaveUpFraction = float64(gaveUp) / float64(windows)
@@ -245,21 +273,23 @@ func SurvivalCurve(n, t int, ws []int, trials int) ([]float64, error) {
 			maxW = w
 		}
 	}
-	firsts := make([]int, 0, trials)
-	for seed := uint64(1); seed <= uint64(trials); seed++ {
-		s, th, err := NewCoreSystem(n, t, seed)
+	firsts, err := parallel.Map(trials, func(trial int) (int, error) {
+		s, th, err := NewCoreSystem(n, t, uint64(trial+1))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := s.RunWindows(NewSplitVote(th), maxW)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		fd := res.FirstDecision
 		if fd < 0 {
 			fd = maxW + 1
 		}
-		firsts = append(firsts, fd)
+		return fd, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, len(ws))
 	for i, w := range ws {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"asyncagree/internal/core"
+	"asyncagree/internal/parallel"
 	"asyncagree/internal/sim"
 	"asyncagree/internal/talagrand"
 )
@@ -166,13 +167,18 @@ type Z1SeparationResult struct {
 // measures the Hamming separation of the projected members — Lemma 13 at
 // k = 1, on samples.
 func MeasureZ1Separation(n, t, prefixes, maxPrefixLen int, zt ZkTester) (Z1SeparationResult, error) {
-	z0 := talagrand.NewExplicitSet()
-	z1 := talagrand.NewExplicitSet()
-	for p := 0; p < prefixes; p++ {
+	// Each prefix's membership test replays thousands of independent
+	// continuations — ideal fan-out work for the trial pool. Points are
+	// merged in prefix order so the sampled sets match the serial loop.
+	type membership struct {
+		point    talagrand.Point
+		in0, in1 bool
+	}
+	samples, err := parallel.Map(prefixes, func(p int) (membership, error) {
 		sch := Schedule{N: n, T: t, SysSeed: uint64(p + 1)}
 		th, err := core.DefaultThresholds(n, t)
 		if err != nil {
-			return Z1SeparationResult{}, err
+			return membership{}, err
 		}
 		sch.Th = th
 		// Drive the prefix toward decisions with full-delivery windows of
@@ -184,25 +190,33 @@ func MeasureZ1Separation(n, t, prefixes, maxPrefixLen int, zt ZkTester) (Z1Separ
 		}
 		s, err := sch.Replay()
 		if err != nil {
-			return Z1SeparationResult{}, err
+			return membership{}, err
 		}
 		point, err := ProjectConfiguration(s)
 		if err != nil {
-			return Z1SeparationResult{}, err
+			return membership{}, err
 		}
 		in0, err := zt.InZk(sch, 1, 0)
 		if err != nil {
-			return Z1SeparationResult{}, err
-		}
-		if in0 {
-			z0.Add(point)
+			return membership{}, err
 		}
 		in1, err := zt.InZk(sch, 1, 1)
 		if err != nil {
-			return Z1SeparationResult{}, err
+			return membership{}, err
 		}
-		if in1 {
-			z1.Add(point)
+		return membership{point: point, in0: in0, in1: in1}, nil
+	})
+	if err != nil {
+		return Z1SeparationResult{}, err
+	}
+	z0 := talagrand.NewExplicitSet()
+	z1 := talagrand.NewExplicitSet()
+	for _, sm := range samples {
+		if sm.in0 {
+			z0.Add(sm.point)
+		}
+		if sm.in1 {
+			z1.Add(sm.point)
 		}
 	}
 	res := Z1SeparationResult{

@@ -1,0 +1,83 @@
+// Package parallel provides the deterministic worker pool the experiment
+// and lower-bound drivers fan their independent seeded trials across.
+//
+// Every trial in this repository is a pure function of its index (the index
+// picks the seed, and each trial builds its own sim.System — Systems are
+// not safe for concurrent use but are never shared). That makes the trial
+// loops embarrassingly parallel, with one requirement: results must be
+// byte-identical to the serial loop. Map guarantees that by writing each
+// result into its index's slot and, on failure, reporting the error of the
+// lowest-index failing trial — exactly the error a serial loop would have
+// hit first.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(i) for every i in [0, n) across up to GOMAXPROCS workers and
+// returns the results ordered by index (never by completion time). If any
+// calls fail, the error of the smallest failing index is returned along
+// with the partial results. fn must be safe to call concurrently with
+// distinct indices.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return results, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		errIndex = n
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					// Stop claiming new trials; in-flight ones finish.
+					// Claims are monotone, so every index below this one was
+					// already claimed and any lower-index failure still gets
+					// recorded — the returned error is exactly the one the
+					// serial loop would have hit first.
+					mu.Lock()
+					if i < errIndex {
+						errIndex, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}

@@ -92,7 +92,8 @@ func TestBufferIDsSorted(t *testing.T) {
 }
 
 func TestBufferCompaction(t *testing.T) {
-	// Heavy add/take churn must not leak the order slice.
+	// Heavy add/take churn must not leak storage: the ring tracks the live
+	// ID span (one message here) and the arena recycles slots.
 	b := NewBuffer()
 	for i := 0; i < 10000; i++ {
 		m := b.Add(Message{From: 0, To: 1})
@@ -100,14 +101,63 @@ func TestBufferCompaction(t *testing.T) {
 			t.Fatal("lost message")
 		}
 		if i%100 == 0 {
-			b.Pending() // trigger compaction paths
+			b.Pending()
 		}
 	}
 	if b.Len() != 0 {
 		t.Fatalf("Len = %d", b.Len())
 	}
-	if len(b.order) > 1000 {
-		t.Fatalf("order slice leaked: %d entries for empty buffer", len(b.order))
+	if len(b.ring) > 1000 {
+		t.Fatalf("ring leaked: %d entries for empty buffer", len(b.ring))
+	}
+	if len(b.arena) > 16 {
+		t.Fatalf("arena leaked: %d slots for lockstep add/take churn", len(b.arena))
+	}
+}
+
+func TestBufferAddTakeAllocFree(t *testing.T) {
+	// The arena + free list + ring make a steady-state Add/Take cycle
+	// allocation-free (the original map-backed buffer churned on every Add).
+	b := NewBufferFor(4)
+	for i := 0; i < 128; i++ { // warm up ring and arena
+		m := b.Add(Message{From: 0, To: 1})
+		b.Take(m.ID)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m := b.Add(Message{From: 0, To: 1, Payload: nil})
+		if _, ok := b.Take(m.ID); !ok {
+			t.Fatal("lost message")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Add+Take allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestBufferWindowCycleAllocFree(t *testing.T) {
+	// A full window-shaped cycle — n*n Adds, then PendingFor-ordered Takes —
+	// must also be allocation-free once warm.
+	const n = 8
+	b := NewBufferFor(n)
+	cycle := func() {
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				b.Add(Message{From: ProcID(from), To: ProcID(to)})
+			}
+		}
+		for to := 0; to < n; to++ {
+			for {
+				m, ok := b.OldestFor(ProcID(to))
+				if !ok {
+					break
+				}
+				b.Take(m.ID)
+			}
+		}
+	}
+	cycle() // warm up
+	if allocs := testing.AllocsPerRun(100, cycle); allocs > 0 {
+		t.Fatalf("window cycle allocates %.1f per op, want 0", allocs)
 	}
 }
 

@@ -169,6 +169,49 @@ func TestWindowDeliverRejectsSmallSenderSet(t *testing.T) {
 	}
 }
 
+func TestWindowDeliverRejectsDuplicatePaddedSenderSet(t *testing.T) {
+	// Regression: duplicate ProcIDs used to inflate len(set) past the n-t
+	// check while the effective sender set stayed smaller, letting an
+	// adversary deliver from fewer than n-t distinct senders (a Definition 1
+	// violation). The check must count distinct senders.
+	s := newTestSystem(t, 4, 1, "split", 0)
+	batch := s.WindowSend()
+	senders := make([][]ProcID, 4)
+	senders[2] = []ProcID{1, 3, 3} // len 3 >= n-t, but only 2 distinct < 3
+	err := s.WindowDeliver(batch, senders)
+	if !errors.Is(err, ErrBadWindow) {
+		t.Fatalf("padded duplicate sender set accepted: err = %v, want ErrBadWindow", err)
+	}
+}
+
+func TestWindowDeliverAcceptsDuplicateLargeEnoughSet(t *testing.T) {
+	// Duplicates are harmless when the distinct count still meets n-t.
+	s := newTestSystem(t, 4, 1, "split", 0)
+	batch := s.WindowSend()
+	senders := make([][]ProcID, 4)
+	senders[2] = []ProcID{1, 2, 3, 3, 1}
+	if err := s.WindowDeliver(batch, senders); err != nil {
+		t.Fatal(err)
+	}
+	ep := s.Proc(2).(*echoProc)
+	if len(ep.delivered) != 3 {
+		t.Fatalf("processor 2 received %d messages, want 3 (one per distinct allowed sender)", len(ep.delivered))
+	}
+}
+
+func TestWindowDeliverNilSendersMeansFullDelivery(t *testing.T) {
+	s := newTestSystem(t, 4, 1, "split", 0)
+	batch := s.WindowSend()
+	if err := s.WindowDeliver(batch, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got := len(s.Proc(ProcID(i)).(*echoProc).delivered); got != 4 {
+			t.Fatalf("processor %d received %d messages, want 4", i, got)
+		}
+	}
+}
+
 func TestWindowDeliverRejectsWrongCount(t *testing.T) {
 	s := newTestSystem(t, 4, 1, "split", 0)
 	batch := s.WindowSend()

@@ -114,6 +114,17 @@ type System struct {
 	OnEvent func(Event)
 
 	violation error
+
+	// Scratch state for the allocation-free window pipeline (window.go).
+	// batchScratch backs the slice returned by WindowSend; orderScratch
+	// holds its sorted copy; allowBits is a receiver-major bitset of
+	// permitted senders (allowWords words per receiver) with allowAll
+	// flagging receivers whose sender set is nil ("all senders").
+	batchScratch []Message
+	orderScratch []Message
+	allowWords   int
+	allowBits    []uint64
+	allowAll     []bool
 }
 
 // New constructs a System, instantiating one Process per processor.
@@ -139,14 +150,17 @@ func New(cfg Config) (*System, error) {
 		inputs:        append([]Bit(nil), cfg.Inputs...),
 		crashed:       make([]bool, cfg.N),
 		corrupt:       make([]bool, cfg.N),
-		buffer:        NewBuffer(),
+		buffer:        NewBufferFor(cfg.N),
 		resetCounts:   make([]int, cfg.N),
 		chainDepth:    make([]int, cfg.N),
 		decidedVal:    make([]Bit, cfg.N),
 		decidedOK:     make([]bool, cfg.N),
 		decidedWindow: make([]int, cfg.N),
 		firstDecision: -1,
+		allowWords:    (cfg.N + 63) / 64,
 	}
+	s.allowBits = make([]uint64, cfg.N*s.allowWords)
+	s.allowAll = make([]bool, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		s.rngs[i] = root.Fork(uint64(i))
 		s.procs[i] = cfg.NewProcess(ProcID(i), cfg.Inputs[i])
@@ -259,12 +273,13 @@ func (s *System) recordOutputs(id ProcID) {
 	s.emit(Event{Kind: EvDecide, Proc: id, Value: v})
 }
 
-// stepSend executes a sending step for processor id, returning the messages
-// placed into the buffer.
-func (s *System) stepSend(id ProcID) []Message {
+// sendInto executes a sending step for processor id, appending the messages
+// placed into the buffer to dst and returning the extended slice. The window
+// pipeline passes its reusable batch scratch as dst so the hot path performs
+// no per-step allocation.
+func (s *System) sendInto(id ProcID, dst []Message) []Message {
 	s.steps++
 	batch := s.procs[id].Send()
-	out := make([]Message, 0, len(batch))
 	for _, m := range batch {
 		m.From = id // channels are authenticated: the sender cannot forge From
 		if m.To < 0 || int(m.To) >= s.n {
@@ -275,10 +290,17 @@ func (s *System) stepSend(id ProcID) []Message {
 		}
 		m.Depth = s.chainDepth[id] + 1
 		stored := s.buffer.Add(m)
-		out = append(out, stored)
+		dst = append(dst, stored)
 		s.emit(Event{Kind: EvSend, Proc: id, Msg: stored})
 	}
-	return out
+	return dst
+}
+
+// stepSend executes a sending step for processor id, returning the messages
+// placed into the buffer in a freshly allocated slice (step-mode callers may
+// retain it).
+func (s *System) stepSend(id ProcID) []Message {
+	return s.sendInto(id, nil)
 }
 
 // deliver executes a receiving step for message m (already removed from the

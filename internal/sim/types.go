@@ -79,7 +79,10 @@ type Process interface {
 	// written. Once ok is true the value must never change.
 	Output() (Bit, bool)
 	// Send returns the messages queued since the last Send, clearing the
-	// queue. A second call with no intervening Deliver/Reset returns nil.
+	// queue. A second call with no intervening Deliver/Reset returns an
+	// empty batch. Implementations may recycle the returned slice's backing
+	// array: it is valid only until the next Deliver/Reset, and callers
+	// (the System consumes it immediately) must not retain it.
 	Send() []Message
 	// Deliver processes a received message using local state and the
 	// provided randomness source. This is the only randomized transition.
@@ -151,7 +154,8 @@ type Step struct {
 // the processors in Resets (at most t of them) are reset.
 type Window struct {
 	// Senders[i] lists the senders whose just-sent messages processor i
-	// receives, ascending. A nil entry means "all n senders".
+	// receives, ascending. A nil entry means "all n senders"; a nil Senders
+	// slice means all n senders for every receiver (full delivery).
 	Senders [][]ProcID
 	// Resets lists the processors reset at the end of the window.
 	Resets []ProcID

@@ -1,82 +1,116 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // WindowSend executes the sending steps that open an acceptable window: all
 // non-crashed processors take a sending step. It returns the just-sent batch.
 //
+// The returned slice is scratch owned by the System and is overwritten by
+// the next WindowSend; adversaries may read it while planning the window but
+// must not retain it across windows.
+//
 // In the strongly adaptive model of Sections 2-4 there are no crashes, so
 // all n processors send; the crash-model reuse of windows in Section 5
 // (Definition 19) simply has crashed processors contribute nothing.
 func (s *System) WindowSend() []Message {
-	var batch []Message
+	batch := s.batchScratch[:0]
 	for i := 0; i < s.n; i++ {
 		if s.crashed[i] {
 			continue
 		}
-		batch = append(batch, s.stepSend(ProcID(i))...)
+		batch = s.sendInto(ProcID(i), batch)
 	}
+	s.batchScratch = batch
 	return batch
+}
+
+// allowedRow returns receiver i's sender bitset row.
+func (s *System) allowedRow(i int) []uint64 {
+	return s.allowBits[i*s.allowWords : (i+1)*s.allowWords]
 }
 
 // WindowDeliver executes the receiving steps of a window: each processor i
 // receives, in ascending sender order, the batch messages addressed to it
-// whose sender is in senders[i]. Every sender set must have size >= n-t.
-// Batch messages not delivered are dropped (within the window model, a
-// message not delivered in its window is never delivered).
+// whose sender is in senders[i]. Every sender set must contain >= n-t
+// distinct senders (duplicate entries are ignored, so a padded set cannot
+// smuggle an effective set below Definition 1's bound). A nil senders slice,
+// like a nil per-receiver set, means "all senders". Batch messages not
+// delivered are dropped (within the window model, a message not delivered in
+// its window is never delivered).
 func (s *System) WindowDeliver(batch []Message, senders [][]ProcID) error {
-	if len(senders) != s.n {
+	if senders != nil && len(senders) != s.n {
 		return fmt.Errorf("%w: got %d sender sets for n=%d", ErrBadWindow, len(senders), s.n)
 	}
-	allowed := make([]map[ProcID]bool, s.n)
-	for i, set := range senders {
-		if set == nil {
-			continue // nil means all senders
-		}
-		if len(set) < s.n-s.t {
-			return fmt.Errorf("%w: sender set for processor %d has size %d < n-t=%d",
-				ErrBadWindow, i, len(set), s.n-s.t)
-		}
-		allowed[i] = make(map[ProcID]bool, len(set))
-		for _, p := range set {
-			if err := s.checkProc(p); err != nil {
-				return err
+	// Validate every sender set into the reusable bitset before delivering
+	// anything: an illegal window must leave the configuration untouched.
+	for i := range s.allowAll {
+		s.allowAll[i] = true
+	}
+	if senders != nil {
+		for i, set := range senders {
+			if set == nil {
+				continue // nil means all senders
 			}
-			allowed[i][p] = true
+			s.allowAll[i] = false
+			row := s.allowedRow(i)
+			clear(row)
+			distinct := 0
+			for _, p := range set {
+				if err := s.checkProc(p); err != nil {
+					return err
+				}
+				w, bit := int(p)>>6, uint64(1)<<(uint(p)&63)
+				if row[w]&bit == 0 {
+					row[w] |= bit
+					distinct++
+				}
+			}
+			if distinct < s.n-s.t {
+				return fmt.Errorf("%w: sender set for processor %d has %d distinct senders < n-t=%d",
+					ErrBadWindow, i, distinct, s.n-s.t)
+			}
 		}
 	}
 
-	// Deliver in (receiver, sender, ID) order for determinism.
-	ordered := append([]Message(nil), batch...)
-	sort.Slice(ordered, func(a, b int) bool {
-		if ordered[a].To != ordered[b].To {
-			return ordered[a].To < ordered[b].To
+	// Deliver in (receiver, sender, ID) order for determinism. The sort key
+	// is a total order (IDs are unique), so the result is independent of the
+	// sorting algorithm.
+	ordered := append(s.orderScratch[:0], batch...)
+	s.orderScratch = ordered
+	slices.SortFunc(ordered, func(a, b Message) int {
+		if c := cmp.Compare(a.To, b.To); c != 0 {
+			return c
 		}
-		if ordered[a].From != ordered[b].From {
-			return ordered[a].From < ordered[b].From
+		if c := cmp.Compare(a.From, b.From); c != 0 {
+			return c
 		}
-		return ordered[a].ID < ordered[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
-	batchIDs := make(map[int64]bool, len(ordered))
-	for _, m := range ordered {
-		batchIDs[m.ID] = true
-	}
-	for _, m := range ordered {
+	for i := range ordered {
+		m := &ordered[i]
 		if s.crashed[m.To] {
 			continue
 		}
-		if allowed[m.To] != nil && !allowed[m.To][m.From] {
-			continue
+		if !s.allowAll[m.To] {
+			if m.From < 0 || int(m.From) >= s.n {
+				continue
+			}
+			if s.allowedRow(int(m.To))[int(m.From)>>6]&(uint64(1)<<(uint(m.From)&63)) == 0 {
+				continue
+			}
 		}
 		if taken, ok := s.buffer.Take(m.ID); ok {
 			s.deliver(taken)
 		}
 	}
 	// Undelivered remainder of this window's batch is never delivered.
-	s.buffer.DropWhere(func(m Message) bool { return batchIDs[m.ID] })
+	for i := range ordered {
+		s.buffer.Take(ordered[i].ID)
+	}
 	return nil
 }
 
@@ -85,15 +119,15 @@ func (s *System) WindowResets(resets []ProcID) error {
 	if len(resets) > s.t {
 		return fmt.Errorf("%w: %d resets > t=%d", ErrBadWindow, len(resets), s.t)
 	}
-	seen := make(map[ProcID]bool, len(resets))
-	for _, p := range resets {
+	for i, p := range resets {
 		if err := s.checkProc(p); err != nil {
 			return err
 		}
-		if seen[p] {
-			return fmt.Errorf("%w: duplicate reset of processor %d", ErrBadWindow, p)
+		for j := 0; j < i; j++ { // t is small; quadratic beats a map here
+			if resets[j] == p {
+				return fmt.Errorf("%w: duplicate reset of processor %d", ErrBadWindow, p)
+			}
 		}
-		seen[p] = true
 	}
 	for _, p := range resets {
 		s.reset(p)
