@@ -6,7 +6,11 @@
 // algorithm, the Ben-Or / Bracha / committee / Paxos baselines, and the
 // Talagrand-inequality lower-bound machinery of Section 4.
 //
-// This package is the stable facade over the internal packages. Typical use:
+// This package is the stable facade over the internal packages. The
+// algorithm and adversary inventory lives in internal/registry — a single
+// set of self-describing descriptors shared by this facade, the experiment
+// drivers, and the CLIs — so New and NewAdversary accept any registered
+// name. Typical use:
 //
 //	cfg := asyncagree.Config{
 //		Algorithm: asyncagree.AlgorithmCore,
@@ -17,26 +21,23 @@
 //	}
 //	sys, err := asyncagree.New(cfg)
 //	...
-//	adv, err := asyncagree.SplitVoteAdversary(cfg)
+//	adv, err := asyncagree.NewAdversary("splitvote", cfg)
 //	res, err := sys.RunWindows(adv, 100000)
 //	fmt.Println(res.Windows, res.Agreement, res.Validity)
 //
-// See DESIGN.md for the system inventory (and §2 for the allocation-free
-// window pipeline) and EXPERIMENTS.md for the reproduction results;
-// `go run ./cmd/experiments` regenerates them and
-// `go run ./cmd/bench -out BENCH_baseline.json` records the substrate
-// performance baseline.
+// See DESIGN.md for the system inventory (§2 for the allocation-free
+// window pipeline, §3 for the parallel sweep engine) and EXPERIMENTS.md
+// for the reproduction results; `go run ./cmd/experiments` regenerates
+// them, `go run ./cmd/sweep` runs the full algorithm × adversary scenario
+// matrix, and `go run ./cmd/bench -out BENCH_baseline.json` records the
+// substrate performance baseline.
 package asyncagree
 
 import (
-	"fmt"
-
 	"asyncagree/internal/adversary"
-	"asyncagree/internal/benor"
-	"asyncagree/internal/bracha"
-	"asyncagree/internal/committee"
 	"asyncagree/internal/core"
 	"asyncagree/internal/paxos"
+	"asyncagree/internal/registry"
 	"asyncagree/internal/sim"
 )
 
@@ -65,6 +66,13 @@ type (
 	Event = sim.Event
 	// EventKind discriminates trace events.
 	EventKind = sim.EventKind
+	// Matrix describes a scenario sweep over the registered algorithm ×
+	// adversary × size × input × seed cross-product (see Sweep).
+	Matrix = registry.Matrix
+	// SweepSize is one (n, t) system shape of a Matrix.
+	SweepSize = registry.Size
+	// SweepResult is the aggregated output of a sweep.
+	SweepResult = registry.Sweep
 )
 
 // Trace event kinds, re-exported.
@@ -80,7 +88,8 @@ const (
 // Algorithm selects one of the implemented agreement protocols.
 type Algorithm string
 
-// Implemented algorithms.
+// Implemented algorithms (the registry keys; see Algorithms for the full
+// live list).
 const (
 	// AlgorithmCore is the paper's Section 3 reset-tolerant threshold
 	// protocol (measure-one correct and terminating against the strongly
@@ -99,10 +108,23 @@ const (
 	AlgorithmPaxos Algorithm = "paxos"
 )
 
-// Algorithms lists the implemented algorithms.
+// Algorithms lists the registered algorithms.
 func Algorithms() []Algorithm {
-	return []Algorithm{AlgorithmCore, AlgorithmBenOr, AlgorithmBracha, AlgorithmCommittee, AlgorithmPaxos}
+	names := registry.AlgorithmNames()
+	algs := make([]Algorithm, len(names))
+	for i, name := range names {
+		algs[i] = Algorithm(name)
+	}
+	return algs
 }
+
+// Adversaries lists the registered window-adversary names accepted by
+// NewAdversary.
+func Adversaries() []string { return registry.AdversaryNames() }
+
+// InputPatterns lists the registered input pattern names accepted by
+// PatternInputs.
+func InputPatterns() []string { return registry.InputPatternNames() }
 
 // Config describes a simulation to construct.
 type Config struct {
@@ -124,58 +146,17 @@ type Config struct {
 	Proposers []ProcID
 }
 
-// New constructs a simulation.
-func New(cfg Config) (*System, error) {
-	factory, err := factoryFor(cfg)
-	if err != nil {
-		return nil, err
+// params converts the facade config to registry construction parameters.
+func (cfg Config) params() registry.Params {
+	return registry.Params{
+		N: cfg.N, T: cfg.T, Inputs: cfg.Inputs, Seed: cfg.Seed,
+		CoreThresholds: cfg.CoreThresholds, Proposers: cfg.Proposers,
 	}
-	return sim.New(sim.Config{
-		N: cfg.N, T: cfg.T, Seed: cfg.Seed, Inputs: cfg.Inputs,
-		NewProcess: factory,
-	})
 }
 
-func factoryFor(cfg Config) (func(ProcID, Bit) sim.Process, error) {
-	switch cfg.Algorithm {
-	case AlgorithmCore:
-		th := cfg.CoreThresholds
-		if th == nil {
-			def, err := core.DefaultThresholds(cfg.N, cfg.T)
-			if err != nil {
-				return nil, err
-			}
-			th = &def
-		}
-		if err := th.Validate(cfg.N, cfg.T); err != nil {
-			return nil, err
-		}
-		return core.NewFactory(cfg.N, cfg.T, *th), nil
-	case AlgorithmBenOr:
-		if cfg.T < 0 || 2*cfg.T >= cfg.N {
-			return nil, fmt.Errorf("asyncagree: benor needs t < n/2, got n=%d t=%d", cfg.N, cfg.T)
-		}
-		return benor.NewFactory(cfg.N, cfg.T), nil
-	case AlgorithmBracha:
-		if cfg.T < 0 || cfg.N <= 3*cfg.T {
-			return nil, fmt.Errorf("asyncagree: bracha needs n > 3t, got n=%d t=%d", cfg.N, cfg.T)
-		}
-		return bracha.NewFactory(cfg.N, cfg.T), nil
-	case AlgorithmCommittee:
-		params := committee.DefaultParams(cfg.N)
-		if err := params.Validate(); err != nil {
-			return nil, err
-		}
-		return committee.NewFactory(params), nil
-	case AlgorithmPaxos:
-		proposers := cfg.Proposers
-		if proposers == nil {
-			proposers = []ProcID{0}
-		}
-		return paxos.NewFactory(paxos.Params{N: cfg.N, Proposers: proposers}), nil
-	default:
-		return nil, fmt.Errorf("asyncagree: unknown algorithm %q", cfg.Algorithm)
-	}
+// New constructs a simulation from the registered algorithm descriptor.
+func New(cfg Config) (*System, error) {
+	return registry.NewSystem(string(cfg.Algorithm), cfg.params())
 }
 
 // DefaultThresholds returns Theorem 4's default thresholds T1 = T2 = n-2t,
@@ -185,22 +166,24 @@ func DefaultThresholds(n, t int) (Thresholds, error) {
 }
 
 // UnanimousInputs returns n copies of v.
-func UnanimousInputs(n int, v Bit) []Bit {
-	in := make([]Bit, n)
-	for i := range in {
-		in[i] = v
-	}
-	return in
-}
+func UnanimousInputs(n int, v Bit) []Bit { return registry.UnanimousInputs(n, v) }
 
 // SplitInputs returns the alternating 0/1 input assignment — the adversarial
 // input setting of the paper's slowness arguments.
-func SplitInputs(n int) []Bit {
-	in := make([]Bit, n)
-	for i := range in {
-		in[i] = Bit(i % 2)
-	}
-	return in
+func SplitInputs(n int) []Bit { return registry.SplitInputs(n) }
+
+// PatternInputs generates the n input bits of a registered named pattern
+// ("split", "zeros", "ones", "blocks"); seed only matters to
+// seed-dependent patterns.
+func PatternInputs(pattern string, n int, seed uint64) ([]Bit, error) {
+	return registry.Inputs(pattern, n, seed)
+}
+
+// NewAdversary constructs fresh per-trial state for any registered window
+// adversary, tuned to cfg's algorithm (the split-vote adversary, for
+// example, needs the algorithm's vote classifier and threshold cap).
+func NewAdversary(name string, cfg Config) (WindowAdversary, error) {
+	return registry.NewAdversary(name, string(cfg.Algorithm), cfg.params())
 }
 
 // FullDelivery returns the benign adversary: deliver everything, reset
@@ -214,14 +197,15 @@ func RandomAdversary(seed uint64, resetProb float64, maxResets int) WindowAdvers
 	return adversary.NewRandomWindows(seed, resetProb, maxResets)
 }
 
-// ResetStorm returns the adversary that resets a rotating set of t
+// ResetStorm returns a fresh adversary that resets a rotating set of t
 // processors every window.
-func ResetStorm() WindowAdversary { return &adversary.ResetStorm{} }
+func ResetStorm() WindowAdversary { return adversary.NewResetStorm() }
 
 // Silence returns the adversary that never delivers messages from the given
-// processors (at most t of them).
-func Silence(silent ...ProcID) WindowAdversary {
-	return adversary.FixedSilence{Silent: silent}
+// processors. The set is validated against cfg up front: at most cfg.T
+// distinct processors, every ID in [0, cfg.N).
+func Silence(cfg Config, silent ...ProcID) (WindowAdversary, error) {
+	return adversary.NewFixedSilence(cfg.N, cfg.T, silent)
 }
 
 // Lockstep returns the fair step-mode scheduler for the Section 5 crash
@@ -234,40 +218,10 @@ func DuelingPaxos() StepAdversary { return paxos.NewDuelScheduler() }
 // SplitVoteAdversary returns the paper's Section 3 stalling strategy tuned
 // to cfg's algorithm: it shows every processor an approximate split of the
 // protocol's value-bearing messages, forcing fresh coin flips each round.
-// Supported for AlgorithmCore and AlgorithmBenOr.
+// Supported for the algorithms whose registry descriptor provides a vote
+// classifier (core and Ben-Or).
 func SplitVoteAdversary(cfg Config) (WindowAdversary, error) {
-	switch cfg.Algorithm {
-	case AlgorithmCore:
-		th := cfg.CoreThresholds
-		if th == nil {
-			def, err := core.DefaultThresholds(cfg.N, cfg.T)
-			if err != nil {
-				return nil, err
-			}
-			th = &def
-		}
-		return &adversary.SplitVote{
-			Classify: func(m Message) adversary.VoteInfo {
-				if _, v, ok := core.ExtractVote(m); ok {
-					return adversary.VoteInfo{HasValue: true, Value: v}
-				}
-				return adversary.VoteInfo{}
-			},
-			Cap: th.T3 - 1,
-		}, nil
-	case AlgorithmBenOr:
-		return &adversary.SplitVote{
-			Classify: func(m Message) adversary.VoteInfo {
-				if _, _, v, ok := benor.ExtractVote(m); ok {
-					return adversary.VoteInfo{HasValue: true, Value: v}
-				}
-				return adversary.VoteInfo{}
-			},
-			Cap: cfg.N / 2,
-		}, nil
-	default:
-		return nil, fmt.Errorf("asyncagree: split-vote adversary not defined for %q", cfg.Algorithm)
-	}
+	return NewAdversary("splitvote", cfg)
 }
 
 // Run constructs the system, runs it under adv for at most maxWindows
@@ -279,3 +233,10 @@ func Run(cfg Config, adv WindowAdversary, maxWindows int) (RunResult, error) {
 	}
 	return s.RunWindows(adv, maxWindows)
 }
+
+// Sweep expands the matrix over the registered algorithm × adversary ×
+// size × input × seed cross-product (skipping incompatible pairings and
+// invalid sizes) and fans the trials across the deterministic worker pool.
+// The aggregated result is byte-identical to a serial run of the same
+// matrix; render it with SweepResult.Table.
+func Sweep(m Matrix) (*SweepResult, error) { return m.Run() }

@@ -105,12 +105,80 @@ func TestResetStormOnCore(t *testing.T) {
 
 func TestSilenceAdversary(t *testing.T) {
 	cfg := Config{Algorithm: AlgorithmCore, N: 12, T: 1, Inputs: UnanimousInputs(12, 0), Seed: 2}
-	res, err := Run(cfg, Silence(3), 50)
+	adv, err := Silence(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, adv, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.AllDecided || res.Decision != 0 {
 		t.Fatalf("%+v", res)
+	}
+}
+
+func TestSilenceValidatesAtConstruction(t *testing.T) {
+	cfg := Config{Algorithm: AlgorithmCore, N: 12, T: 1, Inputs: UnanimousInputs(12, 0), Seed: 2}
+	if _, err := Silence(cfg, 3, 4); err == nil {
+		t.Fatal("silent set larger than t accepted")
+	}
+	if _, err := Silence(cfg, 99); err == nil {
+		t.Fatal("out-of-range silent processor accepted")
+	}
+}
+
+func TestNewAdversaryRegistryNames(t *testing.T) {
+	cfg := Config{Algorithm: AlgorithmCore, N: 12, T: 1, Inputs: SplitInputs(12), Seed: 4}
+	for _, name := range Adversaries() {
+		adv, err := NewAdversary(name, cfg)
+		if err != nil {
+			t.Fatalf("NewAdversary(%q): %v", name, err)
+		}
+		res, err := Run(cfg, adv, 2000)
+		if err != nil {
+			t.Fatalf("run under %q: %v", name, err)
+		}
+		if !res.Agreement || !res.Validity {
+			t.Fatalf("safety violated under %q: %+v", name, res)
+		}
+	}
+	if _, err := NewAdversary("nope", cfg); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestPatternInputs(t *testing.T) {
+	for _, name := range InputPatterns() {
+		in, err := PatternInputs(name, 10, 3)
+		if err != nil || len(in) != 10 {
+			t.Fatalf("PatternInputs(%q) = %v, %v", name, in, err)
+		}
+	}
+	if _, err := PatternInputs("nope", 10, 3); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	res, err := Sweep(Matrix{
+		Algorithms:  []string{"core", "benor"},
+		Adversaries: []string{"full"},
+		Sizes:       []SweepSize{{N: 12, T: 1}},
+		Inputs:      []string{"ones"},
+		Seeds:       []uint64{1, 2},
+		MaxWindows:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 || res.TrialCount != 4 {
+		t.Fatalf("unexpected sweep shape: %+v", res)
+	}
+	for _, c := range res.Cells {
+		if c.Decided != c.Trials || c.AgreeViol != 0 || c.ValidViol != 0 {
+			t.Fatalf("cell %+v did not decide cleanly", c)
+		}
 	}
 }
 

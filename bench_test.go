@@ -125,6 +125,13 @@ func BenchmarkBufferOps(b *testing.B) {
 	benchcases.BufferOps()(b)
 }
 
+// BenchmarkSweepThroughput measures the scenario sweep engine end to end
+// (expansion, parallel trial fan-out, aggregation). The body is shared with
+// cmd/bench via internal/benchcases.
+func BenchmarkSweepThroughput(b *testing.B) {
+	benchcases.SweepThroughput()(b)
+}
+
 // BenchmarkRandomWindows measures the chaos adversary's planning cost.
 func BenchmarkRandomWindows(b *testing.B) {
 	cfg := Config{Algorithm: AlgorithmCore, N: 24, T: 3, Inputs: SplitInputs(24), Seed: 1}

@@ -1,11 +1,14 @@
 // Command agree runs a single agreement execution with a chosen algorithm,
 // adversary, and seed, and prints the outcome (optionally with a full step
-// trace).
+// trace). Algorithms, adversaries, and input patterns are resolved through
+// the shared scenario registry, so every registered name works here without
+// CLI changes; `agree -list` prints the live inventory.
 //
 // Usage:
 //
 //	agree -alg core -n 24 -t 3 -inputs split -adversary splitvote -seed 1 -max-windows 100000
-//	agree -alg bracha -n 7 -t 2 -inputs ones -adversary random -trace
+//	agree -alg bracha -n 7 -t 2 -inputs ones -adversary subsets -trace
+//	agree -list
 package main
 
 import (
@@ -13,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"asyncagree"
+	"asyncagree/internal/registry"
 )
 
 func main() {
@@ -25,31 +30,33 @@ func main() {
 }
 
 func run(args []string) error {
+	algNames := make([]string, 0, 5)
+	for _, a := range asyncagree.Algorithms() {
+		algNames = append(algNames, string(a))
+	}
 	fs := flag.NewFlagSet("agree", flag.ContinueOnError)
 	var (
-		alg        = fs.String("alg", "core", "algorithm: core | benor | bracha | committee | paxos")
+		alg        = fs.String("alg", "core", "algorithm: "+strings.Join(algNames, " | "))
 		n          = fs.Int("n", 24, "number of processors")
 		t          = fs.Int("t", 3, "fault budget t")
-		inputs     = fs.String("inputs", "split", "input pattern: split | zeros | ones")
-		advName    = fs.String("adversary", "full", "adversary: full | random | storm | splitvote | silence")
+		inputs     = fs.String("inputs", "split", "input pattern: "+strings.Join(asyncagree.InputPatterns(), " | "))
+		advName    = fs.String("adversary", "full", "adversary: "+strings.Join(asyncagree.Adversaries(), " | "))
 		seed       = fs.Uint64("seed", 1, "random seed (same seed + same flags = same execution)")
 		maxWindows = fs.Int("max-windows", 100000, "window budget")
 		trace      = fs.Bool("trace", false, "print every simulator event")
+		list       = fs.Bool("list", false, "print the registered algorithms, adversaries, and input patterns")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		registry.WriteInventory(os.Stdout)
+		return nil
+	}
 
-	var in []asyncagree.Bit
-	switch *inputs {
-	case "split":
-		in = asyncagree.SplitInputs(*n)
-	case "zeros":
-		in = asyncagree.UnanimousInputs(*n, 0)
-	case "ones":
-		in = asyncagree.UnanimousInputs(*n, 1)
-	default:
-		return fmt.Errorf("unknown input pattern %q", *inputs)
+	in, err := asyncagree.PatternInputs(*inputs, *n, *seed)
+	if err != nil {
+		return err
 	}
 
 	cfg := asyncagree.Config{
@@ -62,28 +69,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	var adv asyncagree.WindowAdversary
-	switch *advName {
-	case "full":
-		adv = asyncagree.FullDelivery()
-	case "random":
-		adv = asyncagree.RandomAdversary(*seed+1, 0.5, *t)
-	case "storm":
-		adv = asyncagree.ResetStorm()
-	case "splitvote":
-		adv, err = asyncagree.SplitVoteAdversary(cfg)
-		if err != nil {
-			return err
-		}
-	case "silence":
-		var silent []asyncagree.ProcID
-		for i := 0; i < *t; i++ {
-			silent = append(silent, asyncagree.ProcID(i))
-		}
-		adv = asyncagree.Silence(silent...)
-	default:
-		return fmt.Errorf("unknown adversary %q", *advName)
+	adv, err := asyncagree.NewAdversary(*advName, cfg)
+	if err != nil {
+		return err
 	}
 
 	if *trace {

@@ -71,6 +71,7 @@ func run(args []string) error {
 	}
 	record("SplitVoteWindow/n=24", benchcases.SplitVoteWindow(24))
 	record("BufferOps", benchcases.BufferOps())
+	record("SweepThroughput", benchcases.SweepThroughput())
 
 	doc := struct {
 		Note    string  `json:"note"`

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepDeterministicOutput(t *testing.T) {
+	args := []string{
+		"-algs", "core,benor", "-advs", "full,splitvote",
+		"-sizes", "12:1", "-inputs", "split,ones",
+		"-trials", "2", "-max-windows", "2000",
+	}
+	var out1, out2 strings.Builder
+	if err := run(args, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("two identical sweeps produced different output:\n%s\n---\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "splitvote") || !strings.Contains(out1.String(), "benor") {
+		t.Fatalf("missing cells:\n%s", out1.String())
+	}
+}
+
+func TestSweepSerialMatchesParallelOutput(t *testing.T) {
+	base := []string{
+		"-algs", "core", "-advs", "full,storm", "-sizes", "12:1,18:2",
+		"-trials", "2", "-max-windows", "1000",
+	}
+	var par, ser strings.Builder
+	if err := run(base, &par); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-serial"}, base...), &ser); err != nil {
+		t.Fatal(err)
+	}
+	if par.String() != ser.String() {
+		t.Fatalf("parallel output diverged from serial:\n%s\n---\n%s", par.String(), ser.String())
+	}
+}
+
+func TestSweepList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"core", "paxos", "splitvote", "silence", "blocks"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("inventory missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSweepRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-algs", "nope"},
+		{"-advs", "nope"},
+		{"-inputs", "nope"},
+		{"-sizes", "12"},
+		{"-sizes", "a:b"},
+		{"-trials", "-1"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -30,12 +30,13 @@ func main() {
 
 func runCommittee(label string, preCorrupt []asyncagree.ProcID, adaptive bool) {
 	const n = 27
-	sys, err := asyncagree.New(asyncagree.Config{
+	cfg := asyncagree.Config{
 		Algorithm: asyncagree.AlgorithmCommittee,
 		N:         n, T: 3,
 		Inputs: asyncagree.UnanimousInputs(n, 1),
 		Seed:   5,
-	})
+	}
+	sys, err := asyncagree.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,10 @@ func runCommittee(label string, preCorrupt []asyncagree.ProcID, adaptive bool) {
 			log.Fatal(err)
 		}
 	}
-	adv := asyncagree.FullDelivery()
+	adv, err := asyncagree.NewAdversary("full", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	struck := false
 	for w := 0; w < 4000 && !sys.AllDecided(); w++ {
 		if err := sys.ApplyWindowWith(adv); err != nil {

@@ -38,7 +38,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			adv, err := asyncagree.SplitVoteAdversary(cfg)
+			// The registry tunes the split-vote adversary to Ben-Or's
+			// vote classifier and floor(n/2) cap, fresh state per run.
+			adv, err := asyncagree.NewAdversary("splitvote", cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -25,7 +25,7 @@ func main() {
 		Inputs: asyncagree.SplitInputs(24),
 		Seed:   1,
 	}
-	adv, err := asyncagree.SplitVoteAdversary(cfg)
+	adv, err := asyncagree.NewAdversary("splitvote", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,8 +21,12 @@ func main() {
 		Seed:      42,
 	}
 
+	// Adversaries are looked up by name in the shared scenario registry
+	// ("full", "subsets", "random", "storm", "silence", "splitvote");
+	// NewAdversary returns fresh per-run state tuned to cfg's algorithm.
+
 	// 1. Benign run: every message delivered, no faults.
-	res, err := asyncagree.Run(cfg, asyncagree.FullDelivery(), 100000)
+	res, err := runUnder(cfg, "full", 100000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,7 +34,7 @@ func main() {
 		res.Decision, res.Windows, res.Agreement, res.Validity)
 
 	// 2. Chaos run: random (n-t)-subset deliveries, random memory resets.
-	res, err = asyncagree.Run(cfg, asyncagree.RandomAdversary(7, 0.5, t), 100000)
+	res, err = runUnder(cfg, "random", 100000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,10 +43,18 @@ func main() {
 
 	// 3. Unanimous inputs decide in the very first acceptable window.
 	cfg.Inputs = asyncagree.UnanimousInputs(n, 1)
-	res, err = asyncagree.Run(cfg, asyncagree.ResetStorm(), 10)
+	res, err = runUnder(cfg, "storm", 10)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("unanimous inputs:  decided %v with first decision in window %d despite a reset storm\n",
 		res.Decision, res.FirstDecision)
+}
+
+func runUnder(cfg asyncagree.Config, adversary string, maxWindows int) (asyncagree.RunResult, error) {
+	adv, err := asyncagree.NewAdversary(adversary, cfg)
+	if err != nil {
+		return asyncagree.RunResult{}, err
+	}
+	return asyncagree.Run(cfg, adv, maxWindows)
 }

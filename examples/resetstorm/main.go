@@ -44,8 +44,13 @@ func main() {
 	}
 
 	// The storm: reset a rotating set of t processors at the end of every
-	// window, forever.
-	res, err := sys.RunWindows(asyncagree.ResetStorm(), 200000)
+	// window, forever. Resolved by name from the scenario registry, which
+	// hands back fresh rotation state for this run.
+	adv, err := asyncagree.NewAdversary("storm", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunWindows(adv, 200000)
 	if err != nil {
 		log.Fatal(err)
 	}

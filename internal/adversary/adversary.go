@@ -11,6 +11,8 @@
 package adversary
 
 import (
+	"fmt"
+
 	"asyncagree/internal/rng"
 	"asyncagree/internal/sim"
 )
@@ -30,12 +32,35 @@ func (FullDelivery) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
 // FixedSilence always excludes the same set of up to t senders from every
 // delivery — the "temporarily silenced" adversary used in the proofs of
 // Lemmas 11 and 13 (deliver only from the last n-t processors forever).
+// Construct via NewFixedSilence so that an oversized or out-of-range silent
+// set is rejected up front instead of surfacing as a window-validation error
+// mid-run.
 type FixedSilence struct {
 	// Silent lists the processors whose messages are never delivered.
 	Silent []sim.ProcID
 }
 
 var _ sim.WindowAdversary = FixedSilence{}
+
+// NewFixedSilence validates the silent set against the system shape: at most
+// t distinct processors, every ID in [0, n). The returned adversary is
+// stateless and safe to reuse across trials.
+func NewFixedSilence(n, t int, silent []sim.ProcID) (FixedSilence, error) {
+	if len(silent) > t {
+		return FixedSilence{}, fmt.Errorf("adversary: %d silent processors exceed fault budget t=%d", len(silent), t)
+	}
+	seen := make(map[sim.ProcID]bool, len(silent))
+	for _, p := range silent {
+		if p < 0 || int(p) >= n {
+			return FixedSilence{}, fmt.Errorf("adversary: silent processor %d out of range [0, %d)", p, n)
+		}
+		if seen[p] {
+			return FixedSilence{}, fmt.Errorf("adversary: duplicate silent processor %d", p)
+		}
+		seen[p] = true
+	}
+	return FixedSilence{Silent: silent}, nil
+}
 
 // PlanDelivery implements sim.WindowAdversary.
 func (a FixedSilence) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
@@ -103,11 +128,19 @@ func (a *RandomWindows) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window 
 // rotating through the ring so that every processor is hit repeatedly. It
 // stresses Theorem 4's claim that correctness survives arbitrary adaptive
 // resets within the window constraint.
+//
+// ResetStorm carries mutable rotation state: construct a fresh one per
+// trial (NewResetStorm) and never share an instance across concurrent
+// executions.
 type ResetStorm struct {
 	next int
 }
 
 var _ sim.WindowAdversary = (*ResetStorm)(nil)
+
+// NewResetStorm returns a fresh reset-storm adversary with its rotation
+// cursor at zero.
+func NewResetStorm() *ResetStorm { return &ResetStorm{} }
 
 // PlanDelivery implements sim.WindowAdversary.
 func (a *ResetStorm) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {

@@ -53,6 +53,13 @@ type SplitVote struct {
 
 var _ sim.WindowAdversary = (*SplitVote)(nil)
 
+// NewSplitVote returns a fresh split-vote adversary. SplitVote carries
+// mutable counters (GaveUp, Windows): construct one per trial and never
+// share an instance across concurrent executions.
+func NewSplitVote(classify func(sim.Message) VoteInfo, cap int) *SplitVote {
+	return &SplitVote{Classify: classify, Cap: cap}
+}
+
 // PlanDelivery implements sim.WindowAdversary.
 func (a *SplitVote) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
 	a.Windows++

@@ -9,6 +9,7 @@ import (
 
 	"asyncagree/internal/adversary"
 	"asyncagree/internal/lowerbound"
+	"asyncagree/internal/registry"
 	"asyncagree/internal/sim"
 )
 
@@ -46,6 +47,34 @@ func SplitVoteWindow(n int) func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if err := s.ApplyWindowWith(adv); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// SweepThroughput measures the scenario sweep engine end to end: a fixed
+// small matrix (core + Ben-Or under the benign and split-vote adversaries,
+// four seeds) expanded, fanned across the worker pool, and aggregated per
+// iteration.
+func SweepThroughput() func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		m := registry.Matrix{
+			Algorithms:  []string{"core", "benor"},
+			Adversaries: []string{"full", "splitvote"},
+			Sizes:       []registry.Size{{N: 12, T: 1}},
+			Inputs:      []string{"split"},
+			Seeds:       []uint64{1, 2, 3, 4},
+			MaxWindows:  2000,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep, err := m.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sweep.Cells) != 4 || sweep.SafetyViolations() != 0 {
+				b.Fatalf("unexpected sweep shape: %+v", sweep.Cells)
 			}
 		}
 	}

@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"asyncagree/internal/adversary"
-	"asyncagree/internal/benor"
 	"asyncagree/internal/bracha"
 	"asyncagree/internal/committee"
 	"asyncagree/internal/paxos"
+	"asyncagree/internal/registry"
 	"asyncagree/internal/sim"
 	"asyncagree/internal/stats"
 )
@@ -29,14 +29,15 @@ func runE8(scale Scale) (Result, error) {
 	for _, n := range ns {
 		t := n / 4
 		chains, err := RunTrials(trials, func(trial int) (int, error) {
-			s, err := sim.New(sim.Config{
-				N: n, T: t, Seed: uint64(trial + 1), Inputs: splitInputs(n),
-				NewProcess: benor.NewFactory(n, t),
-			})
+			p := registry.Params{N: n, T: t, Seed: uint64(trial + 1), Inputs: registry.SplitInputs(n)}
+			s, err := registry.NewSystem("benor", p)
 			if err != nil {
 				return 0, err
 			}
-			adv := &adversary.SplitVote{Classify: classifyBenOr, Cap: n / 2}
+			adv, err := registry.NewAdversary("splitvote", "benor", p)
+			if err != nil {
+				return 0, err
+			}
 			res, err := s.RunWindows(adv, maxW)
 			if err != nil {
 				return 0, err
@@ -71,13 +72,6 @@ func runE8(scale Scale) (Result, error) {
 	}, nil
 }
 
-func classifyBenOr(m sim.Message) adversary.VoteInfo {
-	if _, _, v, ok := benor.ExtractVote(m); ok {
-		return adversary.VoteInfo{HasValue: true, Value: v}
-	}
-	return adversary.VoteInfo{}
-}
-
 // runE10 reproduces the introduction's separation: the committee algorithm
 // is fast against non-adaptive corruption but collapses against an adaptive
 // adversary that corrupts the final committee, while Bracha (slow) shrugs
@@ -103,9 +97,13 @@ func runE10(scale Scale) (Result, error) {
 		tt := 3 // non-adaptive budget; adaptive uses GroupT+1 = 3 as well
 		switch alg {
 		case "committee":
-			s, err = buildSystem("committee", n, tt, unanimousInputs(n, 1), seed)
+			s, err = registry.NewSystem("committee", registry.Params{
+				N: n, T: tt, Seed: seed, Inputs: registry.UnanimousInputs(n, 1),
+			})
 		case "bracha":
-			s, err = buildSystem("bracha", n, 8, unanimousInputs(n, 1), seed)
+			s, err = registry.NewSystem("bracha", registry.Params{
+				N: n, T: 8, Seed: seed, Inputs: registry.UnanimousInputs(n, 1),
+			})
 		default:
 			return false, false, 0, fmt.Errorf("bad alg %q", alg)
 		}
@@ -228,9 +226,9 @@ func runE11(scale Scale) (Result, error) {
 		{"dueling", []sim.ProcID{0, 1}, true},
 	} {
 		results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
-			s, err := sim.New(sim.Config{
-				N: n, T: 2, Seed: uint64(trial + 1), Inputs: splitInputs(n),
-				NewProcess: paxos.NewFactory(paxos.Params{N: n, Proposers: cfg.proposers}),
+			s, err := registry.NewSystem("paxos", registry.Params{
+				N: n, T: 2, Seed: uint64(trial + 1), Inputs: registry.SplitInputs(n),
+				Proposers: cfg.proposers,
 			})
 			if err != nil {
 				return sim.RunResult{}, err

@@ -5,6 +5,7 @@ import (
 
 	"asyncagree/internal/adversary"
 	"asyncagree/internal/core"
+	"asyncagree/internal/registry"
 	"asyncagree/internal/sim"
 	"asyncagree/internal/stats"
 )
@@ -26,31 +27,20 @@ func runE1(scale Scale) (Result, error) {
 	pass := true
 	for _, nt := range sizes {
 		n, t := nt[0], nt[1]
-		th, err := core.DefaultThresholds(n, t)
-		if err != nil {
-			return Result{}, err
-		}
-		for _, advName := range []string{"full", "random+resets", "reset-storm", "split-vote"} {
+		// The battery is the registry's core-compatible reset/stall
+		// adversaries (the "subsets" chaos scheduler is omitted: it is
+		// strictly weaker than "random" here).
+		for _, advName := range []string{"full", "random", "storm", "splitvote"} {
 			results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
 				seed := uint64(trial + 1)
-				s, err := sim.New(sim.Config{
-					N: n, T: t, Seed: seed,
-					Inputs:     patternInputs(n, seed),
-					NewProcess: core.NewFactory(n, t, th),
-				})
+				p := registry.Params{N: n, T: t, Seed: seed, Inputs: patternInputs(n, seed)}
+				s, err := registry.NewSystem("core", p)
 				if err != nil {
 					return sim.RunResult{}, err
 				}
-				var adv sim.WindowAdversary
-				switch advName {
-				case "full":
-					adv = adversary.FullDelivery{}
-				case "random+resets":
-					adv = adversary.NewRandomWindows(seed, 0.5, t)
-				case "reset-storm":
-					adv = &adversary.ResetStorm{}
-				case "split-vote":
-					adv = &adversary.SplitVote{Classify: classifyCore, Cap: th.T3 - 1}
+				adv, err := registry.NewAdversary(advName, "core", p)
+				if err != nil {
+					return sim.RunResult{}, err
 				}
 				return s.RunWindows(adv, maxWindows)
 			})
@@ -87,33 +77,16 @@ func runE1(scale Scale) (Result, error) {
 	}, nil
 }
 
-// patternInputs varies input patterns across seeds: unanimous 0, unanimous
-// 1, split, and random-ish blocks.
+// patternInputs varies input patterns across seeds, cycling through the
+// registry's named generators: unanimous 0, unanimous 1, split, and
+// seed-dependent blocks.
 func patternInputs(n int, seed uint64) []sim.Bit {
-	in := make([]sim.Bit, n)
-	switch seed % 4 {
-	case 0: // unanimous zero
-	case 1:
-		for i := range in {
-			in[i] = 1
-		}
-	case 2:
-		for i := range in {
-			in[i] = sim.Bit(i % 2)
-		}
-	default:
-		for i := range in {
-			in[i] = sim.Bit((i*int(seed%7) + i/3) % 2)
-		}
+	names := [4]string{"zeros", "ones", "split", "blocks"}
+	in, err := registry.Inputs(names[seed%4], n, seed)
+	if err != nil {
+		panic(err) // unreachable: the names are registered
 	}
 	return in
-}
-
-func classifyCore(m sim.Message) adversary.VoteInfo {
-	if _, v, ok := core.ExtractVote(m); ok {
-		return adversary.VoteInfo{HasValue: true, Value: v}
-	}
-	return adversary.VoteInfo{}
 }
 
 // runE3 maps Theorem 4's feasibility region: for each t/n ratio, do valid
@@ -157,7 +130,6 @@ func runE9(scale Scale) (Result, error) {
 
 	type config struct {
 		name string
-		run  func(seed uint64, v sim.Bit) (sim.RunResult, error)
 		n, t int
 		maxW int
 	}
@@ -169,7 +141,10 @@ func runE9(scale Scale) (Result, error) {
 	for _, cfg := range configs {
 		for _, v := range []sim.Bit{0, 1} {
 			results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
-				s, err := buildSystem(cfg.name, cfg.n, cfg.t, unanimousInputs(cfg.n, v), uint64(trial+1))
+				s, err := registry.NewSystem(cfg.name, registry.Params{
+					N: cfg.n, T: cfg.t, Seed: uint64(trial + 1),
+					Inputs: registry.UnanimousInputs(cfg.n, v),
+				})
 				if err != nil {
 					return sim.RunResult{}, err
 				}
@@ -202,14 +177,6 @@ func runE9(scale Scale) (Result, error) {
 		Notes: []string{verdict(pass, "all algorithms decide the unanimous input within their first round")},
 		Pass:  pass,
 	}, nil
-}
-
-func unanimousInputs(n int, v sim.Bit) []sim.Bit {
-	in := make([]sim.Bit, n)
-	for i := range in {
-		in[i] = v
-	}
-	return in
 }
 
 // runE12 re-verifies the termination mechanism of Theorem 4's proof: in no

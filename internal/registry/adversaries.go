@@ -1,0 +1,93 @@
+package registry
+
+import (
+	"fmt"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/sim"
+)
+
+// windowCapable is the baseline compatibility check shared by every window
+// adversary: the algorithm must support window mode.
+func windowCapable(alg *Algorithm, _ Params) bool {
+	return alg.Modes.Has(ModeWindow)
+}
+
+func init() {
+	mustRegisterAdversary(Adversary{
+		Name:        "full",
+		Description: "benign adversary: deliver everything, reset nobody",
+		Compatible:  windowCapable,
+		New: func(_ *Algorithm, _ Params) (sim.WindowAdversary, error) {
+			return adversary.FullDelivery{}, nil
+		},
+	})
+
+	mustRegisterAdversary(Adversary{
+		Name:        "subsets",
+		Description: "chaos scheduling: independent random (n-t)-subset deliveries, no resets",
+		Compatible: func(alg *Algorithm, p Params) bool {
+			return windowCapable(alg, p) && !alg.NeedsFullDelivery
+		},
+		New: func(_ *Algorithm, p Params) (sim.WindowAdversary, error) {
+			return adversary.NewRandomWindows(p.Seed, 0, 0), nil
+		},
+	})
+
+	mustRegisterAdversary(Adversary{
+		Name:        "random",
+		Description: "chaos + resets: random (n-t)-subset deliveries and up to t random resets per window",
+		Resets:      true,
+		Compatible: func(alg *Algorithm, p Params) bool {
+			return windowCapable(alg, p) && alg.ResetTolerant
+		},
+		New: func(_ *Algorithm, p Params) (sim.WindowAdversary, error) {
+			return adversary.NewRandomWindows(p.Seed, 0.5, p.T), nil
+		},
+	})
+
+	mustRegisterAdversary(Adversary{
+		Name:        "storm",
+		Description: "reset storm: erase the memory of a rotating set of t processors every window",
+		Resets:      true,
+		Compatible: func(alg *Algorithm, p Params) bool {
+			return windowCapable(alg, p) && alg.ResetTolerant
+		},
+		New: func(_ *Algorithm, _ Params) (sim.WindowAdversary, error) {
+			return adversary.NewResetStorm(), nil
+		},
+	})
+
+	mustRegisterAdversary(Adversary{
+		Name:        "silence",
+		Description: "fixed silence: never deliver from the first t processors (Lemmas 11/13)",
+		Compatible: func(alg *Algorithm, p Params) bool {
+			return windowCapable(alg, p) && alg.SilenceTolerant
+		},
+		New: func(_ *Algorithm, p Params) (sim.WindowAdversary, error) {
+			silent := make([]sim.ProcID, 0, p.T)
+			for i := 0; i < p.T; i++ {
+				silent = append(silent, sim.ProcID(i))
+			}
+			return adversary.NewFixedSilence(p.N, p.T, silent)
+		},
+	})
+
+	mustRegisterAdversary(Adversary{
+		Name:        "splitvote",
+		Description: "Section 3 stalling strategy: show every processor an approximate split of the round's votes",
+		Compatible: func(alg *Algorithm, p Params) bool {
+			return windowCapable(alg, p) && alg.SupportsSplitVote()
+		},
+		New: func(alg *Algorithm, p Params) (sim.WindowAdversary, error) {
+			if !alg.SupportsSplitVote() {
+				return nil, fmt.Errorf("registry: split-vote adversary not defined for %q", alg.Name)
+			}
+			cap, err := alg.SplitVoteCap(p)
+			if err != nil {
+				return nil, err
+			}
+			return adversary.NewSplitVote(alg.ClassifyVote, cap), nil
+		},
+	})
+}

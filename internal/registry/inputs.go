@@ -1,0 +1,94 @@
+package registry
+
+import (
+	"fmt"
+
+	"asyncagree/internal/sim"
+)
+
+// InputPattern is a named input-bit assignment generator. Patterns whose
+// assignment is seed-independent ("split", "zeros", "ones") ignore the seed.
+type InputPattern struct {
+	// Name is the stable registry key.
+	Name string
+	// Description is a one-line human summary for CLI listings.
+	Description string
+	// Gen produces the n input bits.
+	Gen func(n int, seed uint64) []sim.Bit
+}
+
+// inputPatterns is deliberately a plain ordered slice: the set is small,
+// fixed, and shared by the facade, the experiment drivers, and the CLIs.
+var inputPatterns = []*InputPattern{
+	{
+		Name:        "split",
+		Description: "alternating 0/1 — the adversarial input of the paper's slowness arguments",
+		Gen:         func(n int, _ uint64) []sim.Bit { return SplitInputs(n) },
+	},
+	{
+		Name:        "zeros",
+		Description: "unanimous 0",
+		Gen:         func(n int, _ uint64) []sim.Bit { return UnanimousInputs(n, 0) },
+	},
+	{
+		Name:        "ones",
+		Description: "unanimous 1",
+		Gen:         func(n int, _ uint64) []sim.Bit { return UnanimousInputs(n, 1) },
+	},
+	{
+		Name:        "blocks",
+		Description: "seed-dependent blocky mix of 0s and 1s",
+		Gen: func(n int, seed uint64) []sim.Bit {
+			in := make([]sim.Bit, n)
+			for i := range in {
+				in[i] = sim.Bit((i*int(seed%7) + i/3) % 2)
+			}
+			return in
+		},
+	},
+}
+
+// InputPatterns returns the registered input patterns in registration
+// order.
+func InputPatterns() []*InputPattern {
+	return append([]*InputPattern(nil), inputPatterns...)
+}
+
+// InputPatternNames returns the registered pattern names in registration
+// order.
+func InputPatternNames() []string {
+	names := make([]string, len(inputPatterns))
+	for i, p := range inputPatterns {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Inputs generates the n input bits of a named pattern.
+func Inputs(pattern string, n int, seed uint64) ([]sim.Bit, error) {
+	for _, p := range inputPatterns {
+		if p.Name == pattern {
+			return p.Gen(n, seed), nil
+		}
+	}
+	return nil, fmt.Errorf("registry: unknown input pattern %q", pattern)
+}
+
+// UnanimousInputs returns n copies of v.
+func UnanimousInputs(n int, v sim.Bit) []sim.Bit {
+	in := make([]sim.Bit, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+// SplitInputs returns the alternating 0/1 input assignment — the
+// adversarial input setting of the paper's slowness arguments.
+func SplitInputs(n int) []sim.Bit {
+	in := make([]sim.Bit, n)
+	for i := range in {
+		in[i] = sim.Bit(i % 2)
+	}
+	return in
+}

@@ -1,0 +1,287 @@
+package registry
+
+import (
+	"fmt"
+
+	"asyncagree/internal/parallel"
+	"asyncagree/internal/sim"
+	"asyncagree/internal/stats"
+)
+
+// Size is one (n, t) system shape.
+type Size struct {
+	N, T int
+}
+
+// String implements fmt.Stringer.
+func (s Size) String() string { return fmt.Sprintf("%d:%d", s.N, s.T) }
+
+// Matrix describes a scenario sweep: the cross-product of algorithms ×
+// adversaries × sizes × input patterns, each cell run once per seed as an
+// independent trial. Empty axes default to "everything registered" (or the
+// DefaultMatrix grid for sizes/inputs/seeds), so the zero Matrix runs the
+// full compatible cross-product.
+//
+// Expansion skips two kinds of cells without error: pairs the adversary's
+// compatibility predicate rejects (counted in Sweep.Incompatible) and sizes
+// the algorithm's validation rejects (recorded in Sweep.Skipped, e.g. the
+// core algorithm at t >= n/6). Everything that remains must run cleanly.
+type Matrix struct {
+	// Algorithms lists algorithm names; empty = all registered.
+	Algorithms []string
+	// Adversaries lists adversary names; empty = all registered.
+	Adversaries []string
+	// Sizes lists (n, t) shapes; empty = DefaultMatrix().Sizes.
+	Sizes []Size
+	// Inputs lists input pattern names; empty = DefaultMatrix().Inputs.
+	Inputs []string
+	// Seeds lists per-trial seeds; empty = DefaultMatrix().Seeds.
+	Seeds []uint64
+	// MaxWindows is the per-trial window budget; 0 = DefaultMatrix().MaxWindows.
+	MaxWindows int
+}
+
+// DefaultMatrix returns the default sweep grid: every registered algorithm
+// under every compatible adversary at four sizes (27:3 is the smallest
+// shape the committee algorithm's default parameterization supports), split
+// and unanimous-1 inputs, three seeds.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		Sizes:      []Size{{N: 12, T: 1}, {N: 18, T: 2}, {N: 24, T: 3}, {N: 27, T: 3}},
+		Inputs:     []string{"split", "ones"},
+		Seeds:      []uint64{1, 2, 3},
+		MaxWindows: 20000,
+	}
+}
+
+// Cell identifies one aggregated sweep entry.
+type Cell struct {
+	Algorithm, Adversary, Input string
+	Size                        Size
+}
+
+// CellResult aggregates the seeded trials of one cell.
+type CellResult struct {
+	Cell
+	// Trials is the number of seeds run; Decided how many of them reached
+	// universal decision within the window budget.
+	Trials, Decided int
+	// AgreeViol and ValidViol count trials violating agreement or validity.
+	AgreeViol, ValidViol int
+	// MeanWindows is the mean window count of the decided trials (0 when
+	// none decided).
+	MeanWindows float64
+	// MaxChain is the largest message-chain depth observed in any trial.
+	MaxChain int
+}
+
+// Sweep is the aggregated result of Matrix.Run.
+type Sweep struct {
+	// Cells holds one aggregated row per expanded cell, in deterministic
+	// expansion order (algorithm-major, then adversary, size, input).
+	Cells []CellResult
+	// TrialCount is the total number of trials executed.
+	TrialCount int
+	// Incompatible counts (algorithm, adversary, size) triples skipped by
+	// the adversary's compatibility predicate (input patterns do not
+	// affect compatibility, so triples are counted before the input axis
+	// expands).
+	Incompatible int
+	// Skipped records cells whose size failed the algorithm's parameter
+	// validation, e.g. "core 12:3: ... t >= n/6".
+	Skipped []string
+}
+
+// trialSpec is one fully expanded trial.
+type trialSpec struct {
+	cell int // index into the expanded cell list
+	Cell
+	seed       uint64
+	maxWindows int
+}
+
+// expand resolves defaults and produces the deterministic cell and trial
+// lists, plus the skip records.
+func (m Matrix) expand() (cells []Cell, trials []trialSpec, sweep *Sweep, err error) {
+	if len(m.Algorithms) == 0 {
+		m.Algorithms = AlgorithmNames()
+	}
+	if len(m.Adversaries) == 0 {
+		m.Adversaries = AdversaryNames()
+	}
+	def := DefaultMatrix()
+	if len(m.Sizes) == 0 {
+		m.Sizes = def.Sizes
+	}
+	if len(m.Inputs) == 0 {
+		m.Inputs = def.Inputs
+	}
+	if len(m.Seeds) == 0 {
+		m.Seeds = def.Seeds
+	}
+	if m.MaxWindows <= 0 {
+		m.MaxWindows = def.MaxWindows
+	}
+
+	sweep = &Sweep{}
+	for _, pattern := range m.Inputs {
+		if _, err := Inputs(pattern, 1, 1); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for _, algName := range m.Algorithms {
+		alg, err := LookupAlgorithm(algName)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, advName := range m.Adversaries {
+			adv, err := LookupAdversary(advName)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			for _, size := range m.Sizes {
+				p := Params{N: size.N, T: size.T}
+				if verr := alg.Validate(p); verr != nil {
+					if advName == m.Adversaries[0] {
+						// Record an invalid size once per algorithm, not
+						// once per adversary pairing.
+						sweep.Skipped = append(sweep.Skipped,
+							fmt.Sprintf("%s %s: %v", algName, size, verr))
+					}
+					continue
+				}
+				if !adv.Compatible(alg, p) {
+					sweep.Incompatible++
+					continue
+				}
+				for _, pattern := range m.Inputs {
+					cell := Cell{Algorithm: algName, Adversary: advName, Input: pattern, Size: size}
+					idx := len(cells)
+					cells = append(cells, cell)
+					for _, seed := range m.Seeds {
+						trials = append(trials, trialSpec{
+							cell: idx, Cell: cell, seed: seed, maxWindows: m.MaxWindows,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells, trials, sweep, nil
+}
+
+// runTrial executes one expanded trial: build a fresh system and fresh
+// adversary state from the seed, run window mode to the budget.
+func runTrial(ts trialSpec) (sim.RunResult, error) {
+	inputs, err := Inputs(ts.Input, ts.Size.N, ts.seed)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed}
+	sys, err := NewSystem(ts.Algorithm, p)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	adv, err := NewAdversary(ts.Adversary, ts.Algorithm, p)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	return sys.RunWindows(adv, ts.maxWindows)
+}
+
+// mapFn abstracts over the parallel and serial trial runners so both paths
+// share expansion and aggregation verbatim.
+type mapFn func(n int, fn func(i int) (sim.RunResult, error)) ([]sim.RunResult, error)
+
+func serialMap(n int, fn func(i int) (sim.RunResult, error)) ([]sim.RunResult, error) {
+	out := make([]sim.RunResult, n)
+	for i := 0; i < n; i++ {
+		r, err := fn(i)
+		if err != nil {
+			return out, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Run expands the matrix and fans the trials across the deterministic
+// worker pool. The aggregated output is byte-identical to RunSerial: every
+// trial derives all randomness from its seed, builds its own system and
+// adversary state, and lands its result in its own index slot.
+func (m Matrix) Run() (*Sweep, error) { return m.run(parallel.Map[sim.RunResult]) }
+
+// RunSerial runs the same sweep on a plain serial loop. It exists to make
+// the parallel path's determinism testable and to time parallel speedups.
+func (m Matrix) RunSerial() (*Sweep, error) { return m.run(serialMap) }
+
+func (m Matrix) run(runAll mapFn) (*Sweep, error) {
+	cells, trials, sweep, err := m.expand()
+	if err != nil {
+		return nil, err
+	}
+	results, err := runAll(len(trials), func(i int) (sim.RunResult, error) {
+		return runTrial(trials[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sweep.TrialCount = len(trials)
+	sweep.Cells = make([]CellResult, len(cells))
+	for i, c := range cells {
+		sweep.Cells[i] = CellResult{Cell: c}
+	}
+	windowSums := make([]int, len(cells))
+	for i, ts := range trials {
+		res := results[i]
+		cr := &sweep.Cells[ts.cell]
+		cr.Trials++
+		if res.AllDecided {
+			cr.Decided++
+			windowSums[ts.cell] += res.Windows
+		}
+		if !res.Agreement {
+			cr.AgreeViol++
+		}
+		if !res.Validity {
+			cr.ValidViol++
+		}
+		if res.MaxChainDepth > cr.MaxChain {
+			cr.MaxChain = res.MaxChainDepth
+		}
+	}
+	for i := range sweep.Cells {
+		if d := sweep.Cells[i].Decided; d > 0 {
+			sweep.Cells[i].MeanWindows = float64(windowSums[i]) / float64(d)
+		}
+	}
+	return sweep, nil
+}
+
+// Table renders the sweep as an aligned text table in expansion order.
+func (s *Sweep) Table() *stats.Table {
+	table := stats.NewTable("algorithm", "adversary", "inputs", "n", "t",
+		"trials", "decided", "agree-viol", "valid-viol", "mean-windows", "max-chain")
+	for _, c := range s.Cells {
+		table.AddRow(c.Algorithm, c.Adversary, c.Input, c.Size.N, c.Size.T,
+			c.Trials, fmt.Sprintf("%d/%d", c.Decided, c.Trials),
+			c.AgreeViol, c.ValidViol, c.MeanWindows, c.MaxChain)
+	}
+	return table
+}
+
+// SafetyViolations counts agreement/validity violations in cells whose
+// algorithm guarantees safety with probability 1. Any non-zero count is a
+// bug, never an expected outcome.
+func (s *Sweep) SafetyViolations() int {
+	total := 0
+	for _, c := range s.Cells {
+		alg, err := LookupAlgorithm(c.Algorithm)
+		if err != nil || !alg.SafetyCertain {
+			continue
+		}
+		total += c.AgreeViol + c.ValidViol
+	}
+	return total
+}

@@ -1,0 +1,178 @@
+package registry
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// quickMatrix is a fast grid still covering every algorithm and adversary.
+func quickMatrix() Matrix {
+	return Matrix{
+		Sizes:      []Size{{N: 12, T: 1}, {N: 27, T: 3}},
+		Inputs:     []string{"split", "ones"},
+		Seeds:      []uint64{1, 2},
+		MaxWindows: 3000,
+	}
+}
+
+// TestCrossProductSmoke runs every registered algorithm under every
+// compatible adversary and asserts the paper's unconditional invariants:
+// agreement and validity never break for the safety-certain algorithms, and
+// the benign adversary always terminates everything.
+func TestCrossProductSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	sweep, err := quickMatrix().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Cells) == 0 || sweep.TrialCount == 0 {
+		t.Fatal("empty sweep")
+	}
+
+	seenAlg, seenAdv := map[string]bool{}, map[string]bool{}
+	for _, c := range sweep.Cells {
+		seenAlg[c.Algorithm] = true
+		seenAdv[c.Adversary] = true
+		alg, err := LookupAlgorithm(c.Algorithm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.SafetyCertain && (c.AgreeViol > 0 || c.ValidViol > 0) {
+			t.Errorf("cell %+v violated safety", c)
+		}
+		if c.Adversary == "full" && c.Decided != c.Trials {
+			t.Errorf("cell %+v did not terminate under the benign adversary", c)
+		}
+		// Unanimous inputs decide under every compatible adversary
+		// (validity forces the unanimous value), except for algorithms
+		// whose termination is only guaranteed under benign scheduling.
+		if c.Input == "ones" && c.Adversary != "splitvote" &&
+			!(alg.BenignTerminationOnly && c.Adversary != "full") && c.Decided == 0 {
+			t.Errorf("cell %+v never decided unanimous inputs", c)
+		}
+	}
+	for _, name := range AlgorithmNames() {
+		if !seenAlg[name] {
+			t.Errorf("algorithm %q missing from the sweep", name)
+		}
+	}
+	for _, name := range AdversaryNames() {
+		if !seenAdv[name] {
+			t.Errorf("adversary %q missing from the sweep", name)
+		}
+	}
+	if sweep.SafetyViolations() != 0 {
+		t.Fatalf("SafetyViolations = %d", sweep.SafetyViolations())
+	}
+}
+
+// TestSweepParallelMatchesSerial is the sweep engine's determinism
+// guarantee: the parallel fan-out aggregates byte-identically to the serial
+// loop, run after run.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is expensive")
+	}
+	m := Matrix{
+		Algorithms: []string{"core", "benor"},
+		Sizes:      []Size{{N: 12, T: 1}},
+		Inputs:     []string{"split", "ones"},
+		Seeds:      []uint64{1, 2, 3},
+		MaxWindows: 3000,
+	}
+	serial, err := m.RunSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel sweep diverged from serial:\nserial  %+v\nparallel %+v", serial, par)
+	}
+	if serial.Table().String() != par.Table().String() {
+		t.Fatal("rendered tables differ")
+	}
+	again, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Table().String() != again.Table().String() {
+		t.Fatal("two parallel sweeps with identical seeds diverged")
+	}
+}
+
+func TestMatrixExpansion(t *testing.T) {
+	m := Matrix{
+		Algorithms:  []string{"core", "committee"},
+		Adversaries: []string{"full", "storm"},
+		Sizes:       []Size{{N: 12, T: 1}, {N: 12, T: 3}},
+		Inputs:      []string{"ones"},
+		Seeds:       []uint64{1},
+		MaxWindows:  100,
+	}
+	cells, trials, sweep, err := m.expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// core: full+storm at 12:1 (12:3 invalid, t >= n/6); committee: nothing
+	// (12:1 too small, 12:3 also invalid size — and storm incompatible).
+	if len(cells) != 2 {
+		t.Fatalf("cells = %+v", cells)
+	}
+	for _, c := range cells {
+		if c.Algorithm != "core" || c.Size.N != 12 || c.Size.T != 1 {
+			t.Fatalf("unexpected cell %+v", c)
+		}
+	}
+	if len(trials) != 2 {
+		t.Fatalf("trials = %+v", trials)
+	}
+	// Invalid sizes recorded once per algorithm, not once per adversary.
+	if len(sweep.Skipped) != 3 {
+		t.Fatalf("skipped = %v", sweep.Skipped)
+	}
+	for _, s := range sweep.Skipped {
+		if !strings.Contains(s, "core 12:3") && !strings.Contains(s, "committee 12:") {
+			t.Fatalf("unexpected skip record %q", s)
+		}
+	}
+}
+
+func TestMatrixUnknownNames(t *testing.T) {
+	if _, err := (Matrix{Algorithms: []string{"nope"}}).Run(); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := (Matrix{Adversaries: []string{"nope"}}).Run(); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if _, err := (Matrix{Inputs: []string{"nope"}}).Run(); err == nil {
+		t.Fatal("unknown input pattern accepted")
+	}
+}
+
+func TestSweepTableShape(t *testing.T) {
+	m := Matrix{
+		Algorithms:  []string{"benor"},
+		Adversaries: []string{"full"},
+		Sizes:       []Size{{N: 9, T: 2}},
+		Inputs:      []string{"ones"},
+		Seeds:       []uint64{1, 2},
+		MaxWindows:  500,
+	}
+	sweep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sweep.Table().String()
+	if !strings.Contains(out, "benor") || !strings.Contains(out, "2/2") {
+		t.Fatalf("table missing expected cells:\n%s", out)
+	}
+	if len(sweep.Cells) != 1 || sweep.Cells[0].Decided != 2 {
+		t.Fatalf("sweep = %+v", sweep.Cells)
+	}
+}

@@ -1,0 +1,336 @@
+// Package registry is the single source of truth for the repository's
+// algorithm and adversary inventory.
+//
+// Every agreement protocol (the paper's Section 3 core algorithm and the
+// Ben-Or / Bracha / committee / Paxos baselines) is described once by an
+// Algorithm descriptor: parameter validation, a sim.Process factory, the
+// vote classifier the split-vote adversary needs, and the execution modes
+// and fault models it supports. Every full-information adversary is
+// described once by an Adversary descriptor: a constructor returning fresh
+// per-trial state and a compatibility predicate against algorithm
+// descriptors. The asyncagree facade, internal/experiments, cmd/agree and
+// cmd/sweep are all wired on top of this package, so adding an algorithm or
+// adversary is one registry entry instead of parallel switch statements.
+//
+// The sweep engine (matrix.go) expands algorithm × adversary × size ×
+// input × seed grids into independent seeded trials and fans them over
+// internal/parallel.Map with serial-identical aggregate output.
+package registry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/core"
+	"asyncagree/internal/sim"
+)
+
+// Mode is a bitmask of execution modes an algorithm meaningfully supports.
+type Mode uint8
+
+const (
+	// ModeWindow is acceptable-window mode (System.RunWindows,
+	// Definition 1 of the paper).
+	ModeWindow Mode = 1 << iota
+	// ModeStep is raw fine-grained step mode (System.RunSteps, the
+	// Section 5 crash model).
+	ModeStep
+)
+
+// Has reports whether m includes q.
+func (m Mode) Has(q Mode) bool { return m&q != 0 }
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch {
+	case m.Has(ModeWindow) && m.Has(ModeStep):
+		return "window|step"
+	case m.Has(ModeWindow):
+		return "window"
+	case m.Has(ModeStep):
+		return "step"
+	default:
+		return "none"
+	}
+}
+
+// Params carries the per-trial construction parameters shared by every
+// algorithm and adversary in the registry. Algorithm-specific knobs
+// (CoreThresholds, Proposers) are optional and ignored by the algorithms
+// they do not concern.
+type Params struct {
+	// N is the processor count, T the fault budget (resets per acceptable
+	// window for the strongly adaptive adversary, crashes/silences
+	// otherwise).
+	N, T int
+	// Inputs are the n input bits.
+	Inputs []sim.Bit
+	// Seed makes the execution (and any randomized adversary) reproducible.
+	Seed uint64
+	// CoreThresholds optionally overrides the Theorem 4 defaults for the
+	// core algorithm.
+	CoreThresholds *core.Thresholds
+	// Proposers optionally selects the Paxos proposers (default {0}).
+	Proposers []sim.ProcID
+}
+
+// Algorithm is a self-describing agreement protocol entry.
+type Algorithm struct {
+	// Name is the stable registry key (e.g. "core", "benor").
+	Name string
+	// Description is a one-line human summary for CLI listings.
+	Description string
+	// Modes lists the execution modes the algorithm meaningfully supports.
+	Modes Mode
+	// ResetTolerant reports whether the algorithm's guarantees survive the
+	// paper's resetting adversary (only the Section 3 core algorithm).
+	ResetTolerant bool
+	// SilenceTolerant reports whether the algorithm still terminates when
+	// the same t processors are silenced forever (core, Ben-Or, Bracha:
+	// yes; committee and Paxos: a fixed silent set can starve a group or
+	// the proposer).
+	SilenceTolerant bool
+	// SafetyCertain reports whether agreement+validity hold with
+	// probability 1 (false only for the committee algorithm, whose error
+	// probability is non-zero by design).
+	SafetyCertain bool
+	// BenignTerminationOnly reports that termination is guaranteed only
+	// under benign scheduling (Paxos: a lossy scheduler that drops the
+	// lone proposer's messages stalls progress forever, by design).
+	BenignTerminationOnly bool
+	// NeedsFullDelivery reports that the algorithm's claims assume every
+	// message is eventually delivered. Window mode drops each window's
+	// undelivered remainder, so lossy schedulers can stall such an
+	// algorithm forever (e.g. one dropped echo wedges a committee group's
+	// internal Bracha instance); the sweep matrix pairs these algorithms
+	// only with loss-free adversaries.
+	NeedsFullDelivery bool
+	// Validate checks p without building anything.
+	Validate func(p Params) error
+	// Factory returns the per-processor sim.Process constructor. It may
+	// assume Validate(p) passed (NewSystem guarantees the order).
+	Factory func(p Params) (func(sim.ProcID, sim.Bit) sim.Process, error)
+	// ClassifyVote extracts the balanced bit from a message for the
+	// split-vote adversary; nil means the stalling strategy is not defined
+	// for this algorithm.
+	ClassifyVote func(sim.Message) adversary.VoteInfo
+	// SplitVoteCap is the maximum same-value vote count any receiver may
+	// see under the split-vote adversary (core: T3-1; Ben-Or: floor(n/2)).
+	// Non-nil exactly when ClassifyVote is.
+	SplitVoteCap func(p Params) (int, error)
+}
+
+// SupportsSplitVote reports whether the split-vote stalling strategy is
+// defined for the algorithm.
+func (a *Algorithm) SupportsSplitVote() bool { return a.ClassifyVote != nil }
+
+// Adversary is a self-describing window-adversary entry.
+type Adversary struct {
+	// Name is the stable registry key (e.g. "full", "splitvote").
+	Name string
+	// Description is a one-line human summary for CLI listings.
+	Description string
+	// Resets reports whether the adversary performs resetting steps.
+	Resets bool
+	// Compatible reports whether the paper's claims (safety invariants,
+	// meaningful termination behavior) cover running alg under this
+	// adversary. The sweep matrix only expands compatible pairs; explicit
+	// single runs (cmd/agree) may still construct incompatible-but-buildable
+	// pairings.
+	Compatible func(alg *Algorithm, p Params) bool
+	// New returns FRESH adversary state for one trial. Implementations
+	// must never return a shared instance: several adversaries carry
+	// mutable per-execution state (rotation cursors, rng streams, give-up
+	// counters) and trials run concurrently.
+	New func(alg *Algorithm, p Params) (sim.WindowAdversary, error)
+}
+
+var (
+	mu             sync.RWMutex
+	algorithms     []*Algorithm
+	algorithmByKey = map[string]*Algorithm{}
+	adversaries    []*Adversary
+	adversaryByKey = map[string]*Adversary{}
+)
+
+// RegisterAlgorithm adds an algorithm descriptor. Names must be unique;
+// Validate and Factory are mandatory; SplitVoteCap and ClassifyVote must be
+// set together.
+func RegisterAlgorithm(a Algorithm) error {
+	if a.Name == "" || a.Validate == nil || a.Factory == nil {
+		return fmt.Errorf("registry: algorithm descriptor %q incomplete", a.Name)
+	}
+	if (a.ClassifyVote == nil) != (a.SplitVoteCap == nil) {
+		return fmt.Errorf("registry: algorithm %q must set ClassifyVote and SplitVoteCap together", a.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := algorithmByKey[a.Name]; dup {
+		return fmt.Errorf("registry: duplicate algorithm %q", a.Name)
+	}
+	entry := &a
+	algorithms = append(algorithms, entry)
+	algorithmByKey[a.Name] = entry
+	return nil
+}
+
+// RegisterAdversary adds an adversary descriptor. Names must be unique;
+// Compatible and New are mandatory.
+func RegisterAdversary(a Adversary) error {
+	if a.Name == "" || a.Compatible == nil || a.New == nil {
+		return fmt.Errorf("registry: adversary descriptor %q incomplete", a.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := adversaryByKey[a.Name]; dup {
+		return fmt.Errorf("registry: duplicate adversary %q", a.Name)
+	}
+	entry := &a
+	adversaries = append(adversaries, entry)
+	adversaryByKey[a.Name] = entry
+	return nil
+}
+
+func mustRegisterAlgorithm(a Algorithm) {
+	if err := RegisterAlgorithm(a); err != nil {
+		panic(err)
+	}
+}
+
+func mustRegisterAdversary(a Adversary) {
+	if err := RegisterAdversary(a); err != nil {
+		panic(err)
+	}
+}
+
+// Algorithms returns the registered algorithm descriptors in registration
+// order. The returned slice is a copy; the descriptors are shared and must
+// not be mutated.
+func Algorithms() []*Algorithm {
+	mu.RLock()
+	defer mu.RUnlock()
+	return append([]*Algorithm(nil), algorithms...)
+}
+
+// Adversaries returns the registered adversary descriptors in registration
+// order.
+func Adversaries() []*Adversary {
+	mu.RLock()
+	defer mu.RUnlock()
+	return append([]*Adversary(nil), adversaries...)
+}
+
+// AlgorithmNames returns the registered algorithm names in registration
+// order.
+func AlgorithmNames() []string {
+	algs := Algorithms()
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// AdversaryNames returns the registered adversary names in registration
+// order.
+func AdversaryNames() []string {
+	advs := Adversaries()
+	names := make([]string, len(advs))
+	for i, a := range advs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// LookupAlgorithm resolves a name.
+func LookupAlgorithm(name string) (*Algorithm, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	a, ok := algorithmByKey[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown algorithm %q", name)
+	}
+	return a, nil
+}
+
+// LookupAdversary resolves a name.
+func LookupAdversary(name string) (*Adversary, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	a, ok := adversaryByKey[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown adversary %q", name)
+	}
+	return a, nil
+}
+
+// NewSystem validates p against the named algorithm and constructs a
+// simulation.
+func NewSystem(alg string, p Params) (*sim.System, error) {
+	a, err := LookupAlgorithm(alg)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Validate(p); err != nil {
+		return nil, err
+	}
+	factory, err := a.Factory(p)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(sim.Config{
+		N: p.N, T: p.T, Seed: p.Seed, Inputs: p.Inputs,
+		NewProcess: factory,
+	})
+}
+
+// NewAdversary constructs fresh per-trial adversary state for the named
+// adversary tuned to the named algorithm. Construction fails only when the
+// pairing is impossible to build (e.g. split-vote against an algorithm with
+// no vote classifier); use Compatible for the softer "do the paper's claims
+// cover this pairing" predicate the sweep matrix filters on.
+func NewAdversary(adv, alg string, p Params) (sim.WindowAdversary, error) {
+	ad, err := LookupAdversary(adv)
+	if err != nil {
+		return nil, err
+	}
+	a, err := LookupAlgorithm(alg)
+	if err != nil {
+		return nil, err
+	}
+	return ad.New(a, p)
+}
+
+// WriteInventory writes the human-readable registry listing (algorithms,
+// adversaries, input patterns with one-line descriptions) shared by the
+// CLIs' -list flags.
+func WriteInventory(w io.Writer) {
+	fmt.Fprintln(w, "algorithms:")
+	for _, a := range Algorithms() {
+		fmt.Fprintf(w, "  %-10s %s (modes: %s)\n", a.Name, a.Description, a.Modes)
+	}
+	fmt.Fprintln(w, "adversaries:")
+	for _, a := range Adversaries() {
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Description)
+	}
+	fmt.Fprintln(w, "input patterns:")
+	for _, p := range InputPatterns() {
+		fmt.Fprintf(w, "  %-10s %s\n", p.Name, p.Description)
+	}
+}
+
+// Compatible reports whether the sweep matrix would pair the named
+// adversary with the named algorithm at p.
+func Compatible(adv, alg string, p Params) (bool, error) {
+	ad, err := LookupAdversary(adv)
+	if err != nil {
+		return false, err
+	}
+	a, err := LookupAlgorithm(alg)
+	if err != nil {
+		return false, err
+	}
+	return ad.Compatible(a, p), nil
+}

@@ -1,0 +1,220 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"asyncagree/internal/adversary"
+	"asyncagree/internal/sim"
+)
+
+func TestInventoryComplete(t *testing.T) {
+	algs := AlgorithmNames()
+	wantAlgs := []string{"core", "benor", "bracha", "committee", "paxos"}
+	if len(algs) != len(wantAlgs) {
+		t.Fatalf("algorithms = %v, want %v", algs, wantAlgs)
+	}
+	for i, name := range wantAlgs {
+		if algs[i] != name {
+			t.Fatalf("algorithms = %v, want %v", algs, wantAlgs)
+		}
+	}
+	advs := AdversaryNames()
+	wantAdvs := []string{"full", "subsets", "random", "storm", "silence", "splitvote"}
+	if len(advs) != len(wantAdvs) {
+		t.Fatalf("adversaries = %v, want %v", advs, wantAdvs)
+	}
+	for i, name := range wantAdvs {
+		if advs[i] != name {
+			t.Fatalf("adversaries = %v, want %v", advs, wantAdvs)
+		}
+	}
+	for _, a := range Algorithms() {
+		if a.Description == "" || !a.Modes.Has(ModeWindow) {
+			t.Fatalf("algorithm %q under-described", a.Name)
+		}
+	}
+	for _, a := range Adversaries() {
+		if a.Description == "" {
+			t.Fatalf("adversary %q under-described", a.Name)
+		}
+	}
+}
+
+func TestRegisterRejectsIncomplete(t *testing.T) {
+	if err := RegisterAlgorithm(Algorithm{Name: "broken"}); err == nil {
+		t.Fatal("incomplete algorithm accepted")
+	}
+	if err := RegisterAlgorithm(Algorithm{
+		Name:     "core", // duplicate
+		Validate: func(Params) error { return nil },
+		Factory:  func(Params) (func(sim.ProcID, sim.Bit) sim.Process, error) { return nil, nil },
+	}); err == nil {
+		t.Fatal("duplicate algorithm accepted")
+	}
+	if err := RegisterAdversary(Adversary{Name: "broken"}); err == nil {
+		t.Fatal("incomplete adversary accepted")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := LookupAlgorithm("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := LookupAdversary("nope"); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if _, err := NewSystem("nope", Params{N: 4, T: 1}); err == nil {
+		t.Fatal("NewSystem with unknown algorithm accepted")
+	}
+	if _, err := NewAdversary("nope", "core", Params{N: 12, T: 1}); err == nil {
+		t.Fatal("NewAdversary with unknown adversary accepted")
+	}
+}
+
+func TestValidationMatchesConstraints(t *testing.T) {
+	bad := []struct {
+		alg string
+		p   Params
+	}{
+		{"core", Params{N: 12, T: 2}},                             // t >= n/6
+		{"benor", Params{N: 4, T: 2}},                             // t >= n/2
+		{"bracha", Params{N: 6, T: 2}},                            // n <= 3t
+		{"committee", Params{N: 12, T: 1}},                        // too few survivors for the final committee
+		{"paxos", Params{N: 5, T: 1, Proposers: []sim.ProcID{9}}}, // proposer out of range
+	}
+	for _, c := range bad {
+		alg, err := LookupAlgorithm(c.alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := alg.Validate(c.p); err == nil {
+			t.Fatalf("%s accepted %+v", c.alg, c.p)
+		}
+		if _, err := NewSystem(c.alg, c.p); err == nil {
+			t.Fatalf("NewSystem(%s) accepted %+v", c.alg, c.p)
+		}
+	}
+}
+
+// TestAdversaryStateIsFresh guards the parallel-trial invariant: every
+// NewAdversary call must return fresh mutable state, never a shared
+// instance.
+func TestAdversaryStateIsFresh(t *testing.T) {
+	p := Params{N: 12, T: 1, Seed: 1}
+	for _, name := range []string{"storm", "splitvote", "random", "subsets"} {
+		a1, err := NewAdversary(name, "core", p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		a2, err := NewAdversary(name, "core", p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a1 == a2 {
+			t.Fatalf("%s: NewAdversary returned a shared instance", name)
+		}
+	}
+}
+
+func TestSplitVoteConstruction(t *testing.T) {
+	// Tuned caps: core uses T3-1, Ben-Or floor(n/2).
+	adv, err := NewAdversary("splitvote", "core", Params{N: 24, T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, ok := adv.(*adversary.SplitVote)
+	if !ok {
+		t.Fatalf("splitvote built %T", adv)
+	}
+	if want := 24 - 3*3 - 1; sv.Cap != want {
+		t.Fatalf("core cap = %d, want %d", sv.Cap, want)
+	}
+	adv, err = NewAdversary("splitvote", "benor", Params{N: 9, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv := adv.(*adversary.SplitVote); sv.Cap != 4 {
+		t.Fatalf("benor cap = %d, want 4", sv.Cap)
+	}
+	// Hard error for algorithms with no vote classifier.
+	if _, err := NewAdversary("splitvote", "paxos", Params{N: 5, T: 2}); err == nil {
+		t.Fatal("splitvote against paxos accepted")
+	}
+}
+
+func TestSilenceValidatedAtConstruction(t *testing.T) {
+	// The registry silences the first t processors; FixedSilence must
+	// reject an invalid explicit set up front.
+	if _, err := adversary.NewFixedSilence(12, 1, []sim.ProcID{0, 1}); err == nil {
+		t.Fatal("silent set larger than t accepted")
+	}
+	if _, err := adversary.NewFixedSilence(12, 2, []sim.ProcID{12}); err == nil {
+		t.Fatal("out-of-range silent processor accepted")
+	}
+	if _, err := adversary.NewFixedSilence(12, 2, []sim.ProcID{1, 1}); err == nil {
+		t.Fatal("duplicate silent processor accepted")
+	}
+	adv, err := NewAdversary("silence", "core", Params{N: 12, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := adv.(adversary.FixedSilence)
+	if !ok || len(fs.Silent) != 1 || fs.Silent[0] != 0 {
+		t.Fatalf("silence built %#v", adv)
+	}
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	p := Params{N: 27, T: 3}
+	cases := []struct {
+		adv, alg string
+		want     bool
+	}{
+		{"full", "core", true},
+		{"full", "committee", true},
+		{"subsets", "committee", false}, // lossy scheduling wedges committee groups
+		{"subsets", "paxos", true},
+		{"random", "core", true},
+		{"random", "benor", false}, // resets undefined for non-reset-tolerant baselines
+		{"storm", "bracha", false},
+		{"silence", "benor", true},
+		{"silence", "paxos", false}, // can silence the only proposer
+		{"splitvote", "benor", true},
+		{"splitvote", "bracha", false},
+	}
+	for _, c := range cases {
+		got, err := Compatible(c.adv, c.alg, p)
+		if err != nil {
+			t.Fatalf("Compatible(%s, %s): %v", c.adv, c.alg, err)
+		}
+		if got != c.want {
+			t.Fatalf("Compatible(%s, %s) = %v, want %v", c.adv, c.alg, got, c.want)
+		}
+	}
+}
+
+func TestInputPatterns(t *testing.T) {
+	for _, p := range InputPatterns() {
+		in, err := Inputs(p.Name, 9, 5)
+		if err != nil || len(in) != 9 {
+			t.Fatalf("Inputs(%q) = %v, %v", p.Name, in, err)
+		}
+	}
+	if _, err := Inputs("nope", 9, 5); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	split := SplitInputs(4)
+	if split[0] != 0 || split[1] != 1 || split[2] != 0 || split[3] != 1 {
+		t.Fatalf("SplitInputs = %v", split)
+	}
+	for _, v := range UnanimousInputs(5, 1) {
+		if v != 1 {
+			t.Fatal("UnanimousInputs wrong")
+		}
+	}
+	names := strings.Join(InputPatternNames(), ",")
+	if names != "split,zeros,ones,blocks" {
+		t.Fatalf("pattern names = %s", names)
+	}
+}
