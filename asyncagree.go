@@ -7,10 +7,10 @@
 // Talagrand-inequality lower-bound machinery of Section 4.
 //
 // This package is the stable facade over the internal packages. The
-// algorithm and adversary inventory lives in internal/registry — a single
-// set of self-describing descriptors shared by this facade, the experiment
-// drivers, and the CLIs — so New and NewAdversary accept any registered
-// name. Typical use:
+// algorithm, adversary, and delivery-scheduler inventory lives in
+// internal/registry — a single set of self-describing descriptors shared by
+// this facade, the experiment drivers, and the CLIs — so New, NewAdversary,
+// and NewScheduler accept any registered name. Typical use:
 //
 //	cfg := asyncagree.Config{
 //		Algorithm: asyncagree.AlgorithmCore,
@@ -26,7 +26,8 @@
 //	fmt.Println(res.Windows, res.Agreement, res.Validity)
 //
 // See DESIGN.md for the system inventory (§2 for the allocation-free
-// window pipeline, §3 for the parallel sweep engine) and EXPERIMENTS.md
+// window pipeline, §3 for the parallel sweep engine, §3a for the pluggable
+// delivery schedulers) and EXPERIMENTS.md
 // for the reproduction results; `go run ./cmd/experiments` regenerates
 // them, `go run ./cmd/sweep` runs the full algorithm × adversary scenario
 // matrix, and `go run ./cmd/bench -out BENCH_baseline.json` records the
@@ -38,6 +39,7 @@ import (
 	"asyncagree/internal/core"
 	"asyncagree/internal/paxos"
 	"asyncagree/internal/registry"
+	"asyncagree/internal/sched"
 	"asyncagree/internal/sim"
 )
 
@@ -59,6 +61,10 @@ type (
 	WindowAdversary = sim.WindowAdversary
 	// StepAdversary drives raw fine-grained steps (Section 5 crash model).
 	StepAdversary = sim.StepAdversary
+	// Scheduler chooses which >= n-t senders each receiver admits per
+	// acceptable window (the delivery-discipline axis; see NewScheduler
+	// and Schedule).
+	Scheduler = sched.Scheduler
 	// Thresholds are the core algorithm's T1 >= T2 >= T3.
 	Thresholds = core.Thresholds
 	// Event is a simulator trace event (install a handler via
@@ -121,6 +127,10 @@ func Algorithms() []Algorithm {
 // Adversaries lists the registered window-adversary names accepted by
 // NewAdversary.
 func Adversaries() []string { return registry.AdversaryNames() }
+
+// Schedulers lists the registered delivery-scheduler names accepted by
+// NewScheduler.
+func Schedulers() []string { return registry.SchedulerNames() }
 
 // InputPatterns lists the registered input pattern names accepted by
 // PatternInputs.
@@ -186,6 +196,20 @@ func NewAdversary(name string, cfg Config) (WindowAdversary, error) {
 	return registry.NewAdversary(name, string(cfg.Algorithm), cfg.params())
 }
 
+// NewScheduler constructs fresh per-trial state for any registered delivery
+// scheduler ("adversary", "full", "ascmin", "seeded", "laggard",
+// "alternate"); seed-dependent schedulers derive their stream from cfg.Seed.
+func NewScheduler(name string, cfg Config) (Scheduler, error) {
+	return registry.NewScheduler(name, cfg.params())
+}
+
+// Schedule wraps adv so that the delivery discipline comes from sch while
+// the adversary keeps planning resets and crashes. The "adversary"
+// scheduler (or a nil sch) returns adv unchanged.
+func Schedule(adv WindowAdversary, sch Scheduler) WindowAdversary {
+	return sched.Compose(adv, sch)
+}
+
 // FullDelivery returns the benign adversary: deliver everything, reset
 // nobody.
 func FullDelivery() WindowAdversary { return adversary.FullDelivery{} }
@@ -235,8 +259,9 @@ func Run(cfg Config, adv WindowAdversary, maxWindows int) (RunResult, error) {
 }
 
 // Sweep expands the matrix over the registered algorithm × adversary ×
-// size × input × seed cross-product (skipping incompatible pairings and
-// invalid sizes) and fans the trials across the deterministic worker pool.
-// The aggregated result is byte-identical to a serial run of the same
-// matrix; render it with SweepResult.Table.
+// scheduler × size × input × seed cross-product (skipping incompatible
+// combinations and invalid sizes; an empty Schedulers axis expands every
+// registered delivery scheduler) and fans the trials across the
+// deterministic worker pool. The aggregated result is byte-identical to a
+// serial run of the same matrix; render it with SweepResult.Table.
 func Sweep(m Matrix) (*SweepResult, error) { return m.Run() }

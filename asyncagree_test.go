@@ -164,6 +164,7 @@ func TestFacadeSweep(t *testing.T) {
 	res, err := Sweep(Matrix{
 		Algorithms:  []string{"core", "benor"},
 		Adversaries: []string{"full"},
+		Schedulers:  []string{"adversary"},
 		Sizes:       []SweepSize{{N: 12, T: 1}},
 		Inputs:      []string{"ones"},
 		Seeds:       []uint64{1, 2},
@@ -179,6 +180,33 @@ func TestFacadeSweep(t *testing.T) {
 		if c.Decided != c.Trials || c.AgreeViol != 0 || c.ValidViol != 0 {
 			t.Fatalf("cell %+v did not decide cleanly", c)
 		}
+	}
+}
+
+// TestSchedulerFacade drives every registered delivery scheduler through
+// the facade: build, compose with the benign adversary, run, and hold the
+// safety invariants.
+func TestSchedulerFacade(t *testing.T) {
+	cfg := Config{Algorithm: AlgorithmCore, N: 12, T: 1, Inputs: SplitInputs(12), Seed: 4}
+	for _, name := range Schedulers() {
+		sch, err := NewScheduler(name, cfg)
+		if err != nil {
+			t.Fatalf("NewScheduler(%q): %v", name, err)
+		}
+		adv, err := NewAdversary("full", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, Schedule(adv, sch), 200000)
+		if err != nil {
+			t.Fatalf("run under scheduler %q: %v", name, err)
+		}
+		if !res.Agreement || !res.Validity || !res.AllDecided {
+			t.Fatalf("scheduler %q: %+v", name, res)
+		}
+	}
+	if _, err := NewScheduler("nope", cfg); err == nil {
+		t.Fatal("unknown scheduler accepted")
 	}
 }
 

@@ -2,7 +2,7 @@ package asyncagree
 
 // Benchmark harness: one benchmark per experiment in DESIGN.md §4 (the
 // paper has no numbered tables/figures; each theorem or in-text claim has an
-// experiment ID E1..E12), plus substrate micro-benchmarks. Regenerate the
+// experiment ID E1..E14), plus substrate micro-benchmarks. Regenerate the
 // EXPERIMENTS.md tables with `go run ./cmd/experiments -scale full`.
 
 import (
@@ -45,6 +45,7 @@ func BenchmarkE10Committee(b *testing.B)       { benchExperiment(b, "E10") }
 func BenchmarkE11Paxos(b *testing.B)           { benchExperiment(b, "E11") }
 func BenchmarkE12NoConflict(b *testing.B)      { benchExperiment(b, "E12") }
 func BenchmarkE13Z1Separation(b *testing.B)    { benchExperiment(b, "E13") }
+func BenchmarkE14SchedCurves(b *testing.B)     { benchExperiment(b, "E14") }
 
 // --- Substrate micro-benchmarks -----------------------------------------
 

@@ -1,13 +1,15 @@
 // Command agree runs a single agreement execution with a chosen algorithm,
-// adversary, and seed, and prints the outcome (optionally with a full step
-// trace). Algorithms, adversaries, and input patterns are resolved through
-// the shared scenario registry, so every registered name works here without
-// CLI changes; `agree -list` prints the live inventory.
+// adversary, delivery scheduler, and seed, and prints the outcome
+// (optionally with a full step trace). Algorithms, adversaries, schedulers,
+// and input patterns are resolved through the shared scenario registry, so
+// every registered name works here without CLI changes; `agree -list`
+// prints the live inventory.
 //
 // Usage:
 //
 //	agree -alg core -n 24 -t 3 -inputs split -adversary splitvote -seed 1 -max-windows 100000
 //	agree -alg bracha -n 7 -t 2 -inputs ones -adversary subsets -trace
+//	agree -alg core -n 24 -t 3 -adversary storm -sched laggard
 //	agree -list
 package main
 
@@ -41,10 +43,11 @@ func run(args []string) error {
 		t          = fs.Int("t", 3, "fault budget t")
 		inputs     = fs.String("inputs", "split", "input pattern: "+strings.Join(asyncagree.InputPatterns(), " | "))
 		advName    = fs.String("adversary", "full", "adversary: "+strings.Join(asyncagree.Adversaries(), " | "))
+		schedName  = fs.String("sched", "adversary", "delivery scheduler: "+strings.Join(asyncagree.Schedulers(), " | "))
 		seed       = fs.Uint64("seed", 1, "random seed (same seed + same flags = same execution)")
 		maxWindows = fs.Int("max-windows", 100000, "window budget")
 		trace      = fs.Bool("trace", false, "print every simulator event")
-		list       = fs.Bool("list", false, "print the registered algorithms, adversaries, and input patterns")
+		list       = fs.Bool("list", false, "print the registered algorithms, adversaries, schedulers, and input patterns")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +76,26 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	sch, err := asyncagree.NewScheduler(*schedName, cfg)
+	if err != nil {
+		return err
+	}
+	// Explicit single runs may construct pairings the sweep matrix skips
+	// (a sender-overriding scheduler nullifying the split-vote adversary's
+	// whole strategy, a lossy discipline against an algorithm that needs
+	// full delivery) — allowed for experimentation, but say so rather than
+	// letting the output header imply the standard claims cover the run.
+	ok, err := registry.SchedulerCompatible(*schedName, *advName, *alg,
+		registry.Params{N: *n, T: *t})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr,
+			"agree: note: the sweep matrix would skip scheduler %q with adversary %q and algorithm %q (adversary- or algorithm-trait mismatch); running anyway\n",
+			*schedName, *advName, *alg)
+	}
+	adv = asyncagree.Schedule(adv, sch)
 
 	if *trace {
 		installTracer(sys)
@@ -83,8 +106,8 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("algorithm        %s (n=%d, t=%d, inputs=%s, adversary=%s, seed=%d)\n",
-		*alg, *n, *t, *inputs, *advName, *seed)
+	fmt.Printf("algorithm        %s (n=%d, t=%d, inputs=%s, adversary=%s, sched=%s, seed=%d)\n",
+		*alg, *n, *t, *inputs, *advName, *schedName, *seed)
 	fmt.Printf("windows          %d\n", res.Windows)
 	if res.FirstDecision >= 0 {
 		fmt.Printf("first decision   window %d (value %d)\n", res.FirstDecision, res.Decision)

@@ -33,11 +33,23 @@ func TestRunSilenceAdversary(t *testing.T) {
 	}
 }
 
+func TestRunLaggardScheduler(t *testing.T) {
+	err := run([]string{
+		"-alg", "core", "-n", "12", "-t", "1",
+		"-inputs", "split", "-adversary", "storm", "-sched", "laggard",
+		"-max-windows", "200000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-alg", "nope", "-n", "8", "-t", "1"},
 		{"-inputs", "nope"},
 		{"-adversary", "nope"},
+		{"-sched", "nope"},
 		{"-alg", "core", "-n", "12", "-t", "3"}, // t >= n/6
 	}
 	for _, args := range cases {

@@ -1,9 +1,10 @@
-// Command sweep runs the full algorithm × adversary × size × input × seed
-// scenario matrix through the shared registry and prints one aggregated
-// table row per cell. Incompatible pairings (e.g. reset adversaries against
-// non-reset-tolerant algorithms) and invalid sizes (e.g. the core algorithm
-// at t >= n/6) are skipped automatically, so the default invocation runs
-// the complete compatible cross-product in one command.
+// Command sweep runs the full algorithm × adversary × scheduler × size ×
+// input × seed scenario matrix through the shared registry and prints one
+// aggregated table row per cell. Incompatible pairings (e.g. reset
+// adversaries against non-reset-tolerant algorithms, lossy delivery
+// schedulers against the committee algorithm) and invalid sizes (e.g. the
+// core algorithm at t >= n/6) are skipped automatically, so the default
+// invocation runs the complete compatible cross-product in one command.
 //
 // All trials are independently seeded and fanned across a deterministic
 // worker pool: the table is byte-identical run-to-run and identical to a
@@ -14,6 +15,7 @@
 //
 //	sweep                                   # full compatible cross-product, default grid
 //	sweep -algs core,benor -advs splitvote  # restrict axes
+//	sweep -scheds adversary                 # the pre-scheduler trials (table adds a scheduler column)
 //	sweep -sizes 12:1,24:3 -trials 5        # custom shapes, seeds 1..5
 //	sweep -list                             # print the registered inventory
 package main
@@ -42,13 +44,14 @@ func run(args []string, out io.Writer) error {
 	var (
 		algs       = fs.String("algs", "", "comma-separated algorithms (empty = all registered)")
 		advs       = fs.String("advs", "", "comma-separated adversaries (empty = all registered)")
+		scheds     = fs.String("scheds", "", "comma-separated delivery schedulers (empty = all registered)")
 		sizes      = fs.String("sizes", "", "comma-separated n:t shapes, e.g. 12:1,24:3 (empty = default grid)")
 		inputs     = fs.String("inputs", "", "comma-separated input patterns (empty = default grid)")
 		trials     = fs.Int("trials", 0, "trials per cell, seeded 1..trials (0 = default grid)")
 		maxWindows = fs.Int("max-windows", 0, "per-trial window budget (0 = default)")
 		serial     = fs.Bool("serial", false, "run trials on a serial loop instead of the worker pool")
 		verbose    = fs.Bool("v", false, "also print skipped sizes and incompatible-pair counts")
-		list       = fs.Bool("list", false, "print the registered algorithms, adversaries, and input patterns")
+		list       = fs.Bool("list", false, "print the registered algorithms, adversaries, schedulers, and input patterns")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +64,7 @@ func run(args []string, out io.Writer) error {
 	m := registry.Matrix{
 		Algorithms:  splitList(*algs),
 		Adversaries: splitList(*advs),
+		Schedulers:  splitList(*scheds),
 		Inputs:      splitList(*inputs),
 		MaxWindows:  *maxWindows,
 	}

@@ -48,9 +48,34 @@ func TestSweepList(t *testing.T) {
 	if err := run([]string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"core", "paxos", "splitvote", "silence", "blocks"} {
+	for _, want := range []string{"core", "paxos", "splitvote", "silence", "blocks",
+		"schedulers:", "adversary", "ascmin", "seeded", "laggard", "alternate"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("inventory missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSweepSchedulerAxis drives the -scheds flag end to end: one cell per
+// requested scheduler, all compatible with the benign adversary, rendered
+// in the scheduler column.
+func TestSweepSchedulerAxis(t *testing.T) {
+	args := []string{
+		"-algs", "core", "-advs", "full",
+		"-scheds", "adversary,full,ascmin,seeded,laggard,alternate",
+		"-sizes", "12:1", "-inputs", "ones",
+		"-trials", "2", "-max-windows", "2000",
+	}
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cells 6") {
+		t.Fatalf("want one cell per scheduler:\n%s", out.String())
+	}
+	for _, sched := range []string{"ascmin", "seeded", "laggard", "alternate"} {
+		if !strings.Contains(out.String(), sched) {
+			t.Fatalf("scheduler %q missing from table:\n%s", sched, out.String())
 		}
 	}
 }
@@ -59,6 +84,7 @@ func TestSweepRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-algs", "nope"},
 		{"-advs", "nope"},
+		{"-scheds", "nope"},
 		{"-inputs", "nope"},
 		{"-sizes", "12"},
 		{"-sizes", "a:b"},

@@ -8,6 +8,15 @@
 // deterministic functions from the partial execution to the next window,
 // exactly matching the paper's definition; randomized "chaos" adversaries
 // carry their own seeded source for reproducibility.
+//
+// The delivery half of a window plan — which ≥ n−t senders each receiver
+// admits — is also available as a standalone, pluggable axis: an
+// internal/sched Scheduler can be spliced over any adversary here
+// (sched.Compose), overriding its sender sets while the adversary keeps
+// planning resets and crashes. Adversaries whose strategy lives in the
+// sender sets themselves (FixedSilence, SplitVote, RandomWindows) are
+// marked PlansSenders in their registry descriptors so the sweep never
+// pairs them with an overriding scheduler.
 package adversary
 
 import (

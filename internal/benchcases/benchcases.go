@@ -62,6 +62,7 @@ func SweepThroughput() func(b *testing.B) {
 		m := registry.Matrix{
 			Algorithms:  []string{"core", "benor"},
 			Adversaries: []string{"full", "splitvote"},
+			Schedulers:  []string{"adversary"}, // keep comparable to the pre-scheduler baseline
 			Sizes:       []registry.Size{{N: 12, T: 1}},
 			Inputs:      []string{"split"},
 			Seeds:       []uint64{1, 2, 3, 4},

@@ -24,8 +24,9 @@ func init() {
 	})
 
 	mustRegisterAdversary(Adversary{
-		Name:        "subsets",
-		Description: "chaos scheduling: independent random (n-t)-subset deliveries, no resets",
+		Name:         "subsets",
+		Description:  "chaos scheduling: independent random (n-t)-subset deliveries, no resets",
+		PlansSenders: true,
 		Compatible: func(alg *Algorithm, p Params) bool {
 			return windowCapable(alg, p) && !alg.NeedsFullDelivery
 		},
@@ -35,9 +36,10 @@ func init() {
 	})
 
 	mustRegisterAdversary(Adversary{
-		Name:        "random",
-		Description: "chaos + resets: random (n-t)-subset deliveries and up to t random resets per window",
-		Resets:      true,
+		Name:         "random",
+		Description:  "chaos + resets: random (n-t)-subset deliveries and up to t random resets per window",
+		Resets:       true,
+		PlansSenders: true,
 		Compatible: func(alg *Algorithm, p Params) bool {
 			return windowCapable(alg, p) && alg.ResetTolerant
 		},
@@ -59,8 +61,9 @@ func init() {
 	})
 
 	mustRegisterAdversary(Adversary{
-		Name:        "silence",
-		Description: "fixed silence: never deliver from the first t processors (Lemmas 11/13)",
+		Name:         "silence",
+		Description:  "fixed silence: never deliver from the first t processors (Lemmas 11/13)",
+		PlansSenders: true,
 		Compatible: func(alg *Algorithm, p Params) bool {
 			return windowCapable(alg, p) && alg.SilenceTolerant
 		},
@@ -74,8 +77,9 @@ func init() {
 	})
 
 	mustRegisterAdversary(Adversary{
-		Name:        "splitvote",
-		Description: "Section 3 stalling strategy: show every processor an approximate split of the round's votes",
+		Name:         "splitvote",
+		Description:  "Section 3 stalling strategy: show every processor an approximate split of the round's votes",
+		PlansSenders: true,
 		Compatible: func(alg *Algorithm, p Params) bool {
 			return windowCapable(alg, p) && alg.SupportsSplitVote()
 		},

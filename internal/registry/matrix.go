@@ -10,6 +10,7 @@ import (
 
 // Size is one (n, t) system shape.
 type Size struct {
+	// N is the processor count, T the fault budget.
 	N, T int
 }
 
@@ -17,20 +18,28 @@ type Size struct {
 func (s Size) String() string { return fmt.Sprintf("%d:%d", s.N, s.T) }
 
 // Matrix describes a scenario sweep: the cross-product of algorithms ×
-// adversaries × sizes × input patterns, each cell run once per seed as an
-// independent trial. Empty axes default to "everything registered" (or the
-// DefaultMatrix grid for sizes/inputs/seeds), so the zero Matrix runs the
-// full compatible cross-product.
+// adversaries × schedulers × sizes × input patterns, each cell run once per
+// seed as an independent trial. Empty axes default to "everything
+// registered" (or the DefaultMatrix grid for sizes/inputs/seeds), so the
+// zero Matrix runs the full compatible cross-product.
 //
-// Expansion skips two kinds of cells without error: pairs the adversary's
-// compatibility predicate rejects (counted in Sweep.Incompatible) and sizes
-// the algorithm's validation rejects (recorded in Sweep.Skipped, e.g. the
-// core algorithm at t >= n/6). Everything that remains must run cleanly.
+// Expansion skips two kinds of cells without error: combinations a
+// compatibility predicate rejects — the adversary's against the algorithm,
+// or the scheduler's against the (algorithm, adversary) pairing — counted
+// in Sweep.Incompatible, and sizes the algorithm's validation rejects
+// (recorded in Sweep.Skipped, e.g. the core algorithm at t >= n/6).
+// Everything that remains must run cleanly.
 type Matrix struct {
 	// Algorithms lists algorithm names; empty = all registered.
 	Algorithms []string
 	// Adversaries lists adversary names; empty = all registered.
 	Adversaries []string
+	// Schedulers lists delivery-scheduler names; empty = all registered.
+	// The "adversary" scheduler keeps the adversary's own sender sets, so
+	// a sweep restricted to it runs exactly the pre-scheduler trials with
+	// identical per-trial results (the rendered table still gains a
+	// scheduler column).
+	Schedulers []string
 	// Sizes lists (n, t) shapes; empty = DefaultMatrix().Sizes.
 	Sizes []Size
 	// Inputs lists input pattern names; empty = DefaultMatrix().Inputs.
@@ -42,9 +51,9 @@ type Matrix struct {
 }
 
 // DefaultMatrix returns the default sweep grid: every registered algorithm
-// under every compatible adversary at four sizes (27:3 is the smallest
-// shape the committee algorithm's default parameterization supports), split
-// and unanimous-1 inputs, three seeds.
+// under every compatible adversary and delivery scheduler at four sizes
+// (27:3 is the smallest shape the committee algorithm's default
+// parameterization supports), split and unanimous-1 inputs, three seeds.
 func DefaultMatrix() Matrix {
 	return Matrix{
 		Sizes:      []Size{{N: 12, T: 1}, {N: 18, T: 2}, {N: 24, T: 3}, {N: 27, T: 3}},
@@ -56,8 +65,11 @@ func DefaultMatrix() Matrix {
 
 // Cell identifies one aggregated sweep entry.
 type Cell struct {
-	Algorithm, Adversary, Input string
-	Size                        Size
+	// Algorithm, Adversary, Scheduler, and Input are the registry keys of
+	// the cell's coordinates along each named axis.
+	Algorithm, Adversary, Scheduler, Input string
+	// Size is the cell's (n, t) shape.
+	Size Size
 }
 
 // CellResult aggregates the seeded trials of one cell.
@@ -78,14 +90,16 @@ type CellResult struct {
 // Sweep is the aggregated result of Matrix.Run.
 type Sweep struct {
 	// Cells holds one aggregated row per expanded cell, in deterministic
-	// expansion order (algorithm-major, then adversary, size, input).
+	// expansion order (algorithm-major, then adversary, scheduler, size,
+	// input).
 	Cells []CellResult
 	// TrialCount is the total number of trials executed.
 	TrialCount int
-	// Incompatible counts (algorithm, adversary, size) triples skipped by
-	// the adversary's compatibility predicate (input patterns do not
-	// affect compatibility, so triples are counted before the input axis
-	// expands).
+	// Incompatible counts combinations skipped by a compatibility
+	// predicate: (algorithm, adversary, size) triples the adversary
+	// rejects, plus (algorithm, adversary, scheduler, size) quadruples the
+	// scheduler rejects (input patterns do not affect compatibility, so
+	// both are counted before the input axis expands).
 	Incompatible int
 	// Skipped records cells whose size failed the algorithm's parameter
 	// validation, e.g. "core 12:3: ... t >= n/6".
@@ -108,6 +122,9 @@ func (m Matrix) expand() (cells []Cell, trials []trialSpec, sweep *Sweep, err er
 	}
 	if len(m.Adversaries) == 0 {
 		m.Adversaries = AdversaryNames()
+	}
+	if len(m.Schedulers) == 0 {
+		m.Schedulers = SchedulerNames()
 	}
 	def := DefaultMatrix()
 	if len(m.Sizes) == 0 {
@@ -139,29 +156,45 @@ func (m Matrix) expand() (cells []Cell, trials []trialSpec, sweep *Sweep, err er
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			for _, size := range m.Sizes {
-				p := Params{N: size.N, T: size.T}
-				if verr := alg.Validate(p); verr != nil {
-					if advName == m.Adversaries[0] {
-						// Record an invalid size once per algorithm, not
-						// once per adversary pairing.
-						sweep.Skipped = append(sweep.Skipped,
-							fmt.Sprintf("%s %s: %v", algName, size, verr))
+			for _, schedName := range m.Schedulers {
+				sch, err := LookupScheduler(schedName)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				for _, size := range m.Sizes {
+					p := Params{N: size.N, T: size.T}
+					if verr := alg.Validate(p); verr != nil {
+						if advName == m.Adversaries[0] && schedName == m.Schedulers[0] {
+							// Record an invalid size once per algorithm,
+							// not once per adversary/scheduler pairing.
+							sweep.Skipped = append(sweep.Skipped,
+								fmt.Sprintf("%s %s: %v", algName, size, verr))
+						}
+						continue
 					}
-					continue
-				}
-				if !adv.Compatible(alg, p) {
-					sweep.Incompatible++
-					continue
-				}
-				for _, pattern := range m.Inputs {
-					cell := Cell{Algorithm: algName, Adversary: advName, Input: pattern, Size: size}
-					idx := len(cells)
-					cells = append(cells, cell)
-					for _, seed := range m.Seeds {
-						trials = append(trials, trialSpec{
-							cell: idx, Cell: cell, seed: seed, maxWindows: m.MaxWindows,
-						})
+					if !adv.Compatible(alg, p) {
+						// An adversary-level rejection is independent of
+						// the scheduler: count the triple once, not once
+						// per scheduler.
+						if schedName == m.Schedulers[0] {
+							sweep.Incompatible++
+						}
+						continue
+					}
+					if !sch.WindowRunnable(alg, adv, p) {
+						sweep.Incompatible++
+						continue
+					}
+					for _, pattern := range m.Inputs {
+						cell := Cell{Algorithm: algName, Adversary: advName,
+							Scheduler: schedName, Input: pattern, Size: size}
+						idx := len(cells)
+						cells = append(cells, cell)
+						for _, seed := range m.Seeds {
+							trials = append(trials, trialSpec{
+								cell: idx, Cell: cell, seed: seed, maxWindows: m.MaxWindows,
+							})
+						}
 					}
 				}
 			}
@@ -171,7 +204,7 @@ func (m Matrix) expand() (cells []Cell, trials []trialSpec, sweep *Sweep, err er
 }
 
 // runTrial executes one expanded trial: build a fresh system and fresh
-// adversary state from the seed, run window mode to the budget.
+// adversary + scheduler state from the seed, run window mode to the budget.
 func runTrial(ts trialSpec) (sim.RunResult, error) {
 	inputs, err := Inputs(ts.Input, ts.Size.N, ts.seed)
 	if err != nil {
@@ -182,7 +215,7 @@ func runTrial(ts trialSpec) (sim.RunResult, error) {
 	if err != nil {
 		return sim.RunResult{}, err
 	}
-	adv, err := NewAdversary(ts.Adversary, ts.Algorithm, p)
+	adv, err := NewScheduledAdversary(ts.Adversary, ts.Scheduler, ts.Algorithm, p)
 	if err != nil {
 		return sim.RunResult{}, err
 	}
@@ -261,10 +294,10 @@ func (m Matrix) run(runAll mapFn) (*Sweep, error) {
 
 // Table renders the sweep as an aligned text table in expansion order.
 func (s *Sweep) Table() *stats.Table {
-	table := stats.NewTable("algorithm", "adversary", "inputs", "n", "t",
+	table := stats.NewTable("algorithm", "adversary", "scheduler", "inputs", "n", "t",
 		"trials", "decided", "agree-viol", "valid-viol", "mean-windows", "max-chain")
 	for _, c := range s.Cells {
-		table.AddRow(c.Algorithm, c.Adversary, c.Input, c.Size.N, c.Size.T,
+		table.AddRow(c.Algorithm, c.Adversary, c.Scheduler, c.Input, c.Size.N, c.Size.T,
 			c.Trials, fmt.Sprintf("%d/%d", c.Decided, c.Trials),
 			c.AgreeViol, c.ValidViol, c.MeanWindows, c.MaxChain)
 	}

@@ -32,10 +32,11 @@ func TestCrossProductSmoke(t *testing.T) {
 		t.Fatal("empty sweep")
 	}
 
-	seenAlg, seenAdv := map[string]bool{}, map[string]bool{}
+	seenAlg, seenAdv, seenSched := map[string]bool{}, map[string]bool{}, map[string]bool{}
 	for _, c := range sweep.Cells {
 		seenAlg[c.Algorithm] = true
 		seenAdv[c.Adversary] = true
+		seenSched[c.Scheduler] = true
 		alg, err := LookupAlgorithm(c.Algorithm)
 		if err != nil {
 			t.Fatal(err)
@@ -43,14 +44,22 @@ func TestCrossProductSmoke(t *testing.T) {
 		if alg.SafetyCertain && (c.AgreeViol > 0 || c.ValidViol > 0) {
 			t.Errorf("cell %+v violated safety", c)
 		}
-		if c.Adversary == "full" && c.Decided != c.Trials {
-			t.Errorf("cell %+v did not terminate under the benign adversary", c)
+		// Benign delivery = the adversary's own plan (benign for the
+		// "full" adversary) or the explicit full-delivery scheduler;
+		// lossy schedulers may legitimately starve e.g. the Paxos
+		// proposer.
+		benignDelivery := c.Scheduler == "adversary" || c.Scheduler == "full"
+		if c.Adversary == "full" && benignDelivery && c.Decided != c.Trials {
+			t.Errorf("cell %+v did not terminate under benign delivery", c)
 		}
-		// Unanimous inputs decide under every compatible adversary
-		// (validity forces the unanimous value), except for algorithms
-		// whose termination is only guaranteed under benign scheduling.
+		// Unanimous inputs decide under every compatible adversary and
+		// scheduler (validity forces the unanimous value and the first
+		// message wave already carries >= n-t copies of it), except for
+		// algorithms whose termination is only guaranteed under benign
+		// scheduling.
 		if c.Input == "ones" && c.Adversary != "splitvote" &&
-			!(alg.BenignTerminationOnly && c.Adversary != "full") && c.Decided == 0 {
+			!(alg.BenignTerminationOnly && !(c.Adversary == "full" && benignDelivery)) &&
+			c.Decided == 0 {
 			t.Errorf("cell %+v never decided unanimous inputs", c)
 		}
 	}
@@ -62,6 +71,11 @@ func TestCrossProductSmoke(t *testing.T) {
 	for _, name := range AdversaryNames() {
 		if !seenAdv[name] {
 			t.Errorf("adversary %q missing from the sweep", name)
+		}
+	}
+	for _, name := range SchedulerNames() {
+		if !seenSched[name] {
+			t.Errorf("scheduler %q missing from the sweep", name)
 		}
 	}
 	if sweep.SafetyViolations() != 0 {
@@ -110,6 +124,7 @@ func TestMatrixExpansion(t *testing.T) {
 	m := Matrix{
 		Algorithms:  []string{"core", "committee"},
 		Adversaries: []string{"full", "storm"},
+		Schedulers:  []string{"adversary"},
 		Sizes:       []Size{{N: 12, T: 1}, {N: 12, T: 3}},
 		Inputs:      []string{"ones"},
 		Seeds:       []uint64{1},
@@ -143,6 +158,109 @@ func TestMatrixExpansion(t *testing.T) {
 	}
 }
 
+// TestMatrixSchedulerAxisExpansion pins the scheduler axis: an empty
+// Schedulers field expands every registered scheduler, sender-planning
+// adversaries only ever pair with the adversary-driven scheduler, and
+// incompatible quadruples are counted, not run.
+func TestMatrixSchedulerAxisExpansion(t *testing.T) {
+	m := Matrix{
+		Algorithms:  []string{"core"},
+		Adversaries: []string{"full", "splitvote"},
+		Sizes:       []Size{{N: 12, T: 1}},
+		Inputs:      []string{"ones"},
+		Seeds:       []uint64{1},
+		MaxWindows:  100,
+	}
+	cells, trials, sweep, err := m.expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// core×full pairs with all 6 schedulers; core×splitvote only with
+	// "adversary" (the other 5 would override its sender sets).
+	if len(cells) != 7 || len(trials) != 7 {
+		t.Fatalf("cells = %d, trials = %d, want 7 and 7: %+v", len(cells), len(trials), cells)
+	}
+	for _, c := range cells {
+		if c.Adversary == "splitvote" && c.Scheduler != "adversary" {
+			t.Fatalf("splitvote paired with sender-overriding scheduler: %+v", c)
+		}
+	}
+	if sweep.Incompatible != 5 {
+		t.Fatalf("incompatible = %d, want 5", sweep.Incompatible)
+	}
+
+	// An adversary-level rejection is counted once per (alg, adv, size)
+	// triple, never once per scheduler: benor is not reset-tolerant, so
+	// benor×storm is one incompatible triple regardless of the six
+	// schedulers expanded.
+	m = Matrix{
+		Algorithms:  []string{"benor"},
+		Adversaries: []string{"storm"},
+		Sizes:       []Size{{N: 9, T: 2}},
+		Inputs:      []string{"ones"},
+		Seeds:       []uint64{1},
+		MaxWindows:  100,
+	}
+	cells, _, sweep, err = m.expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 || sweep.Incompatible != 1 {
+		t.Fatalf("cells = %d, incompatible = %d, want 0 cells and 1 triple", len(cells), sweep.Incompatible)
+	}
+}
+
+// TestAdversarySchedulerMatchesBareAdversary is the backward-compatibility
+// guarantee of the scheduler axis: a trial run through the "adversary"
+// scheduler is the pre-scheduler execution itself, byte-identical result by
+// result.
+func TestAdversarySchedulerMatchesBareAdversary(t *testing.T) {
+	cases := []struct {
+		alg, adv string
+		size     Size
+	}{
+		{"core", "full", Size{N: 12, T: 1}},
+		{"core", "storm", Size{N: 12, T: 1}},
+		{"core", "splitvote", Size{N: 12, T: 1}},
+		{"benor", "subsets", Size{N: 9, T: 2}},
+		{"bracha", "silence", Size{N: 7, T: 2}},
+	}
+	for _, c := range cases {
+		for _, seed := range []uint64{1, 2} {
+			ts := trialSpec{
+				Cell: Cell{Algorithm: c.alg, Adversary: c.adv,
+					Scheduler: "adversary", Input: "split", Size: c.size},
+				seed: seed, maxWindows: 2000,
+			}
+			got, err := runTrial(ts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.alg, c.adv, err)
+			}
+			inputs, err := Inputs("split", c.size.N, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := Params{N: c.size.N, T: c.size.T, Inputs: inputs, Seed: seed}
+			sys, err := NewSystem(c.alg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adv, err := NewAdversary(c.adv, c.alg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sys.RunWindows(adv, 2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s seed %d: scheduler-axis trial diverged from bare adversary:\ngot  %+v\nwant %+v",
+					c.alg, c.adv, seed, got, want)
+			}
+		}
+	}
+}
+
 func TestMatrixUnknownNames(t *testing.T) {
 	if _, err := (Matrix{Algorithms: []string{"nope"}}).Run(); err == nil {
 		t.Fatal("unknown algorithm accepted")
@@ -159,6 +277,7 @@ func TestSweepTableShape(t *testing.T) {
 	m := Matrix{
 		Algorithms:  []string{"benor"},
 		Adversaries: []string{"full"},
+		Schedulers:  []string{"adversary"},
 		Sizes:       []Size{{N: 9, T: 2}},
 		Inputs:      []string{"ones"},
 		Seeds:       []uint64{1, 2},

@@ -1,5 +1,6 @@
 // Package registry is the single source of truth for the repository's
-// algorithm and adversary inventory.
+// scenario inventory: algorithms, adversaries, delivery schedulers, and
+// input patterns.
 //
 // Every agreement protocol (the paper's Section 3 core algorithm and the
 // Ben-Or / Bracha / committee / Paxos baselines) is described once by an
@@ -8,18 +9,23 @@
 // and fault models it supports. Every full-information adversary is
 // described once by an Adversary descriptor: a constructor returning fresh
 // per-trial state and a compatibility predicate against algorithm
-// descriptors. The asyncagree facade, internal/experiments, cmd/agree and
-// cmd/sweep are all wired on top of this package, so adding an algorithm or
-// adversary is one registry entry instead of parallel switch statements.
+// descriptors. Every delivery scheduler (internal/sched) is described once
+// by a Scheduler descriptor (schedulers.go): a fresh-state constructor and
+// a compatibility predicate against the (algorithm, adversary) pairing it
+// would be spliced into. The asyncagree facade, internal/experiments,
+// cmd/agree and cmd/sweep are all wired on top of this package, so adding
+// an algorithm, adversary, or scheduler is one registry entry instead of
+// parallel switch statements.
 //
-// The sweep engine (matrix.go) expands algorithm × adversary × size ×
-// input × seed grids into independent seeded trials and fans them over
-// internal/parallel.Map with serial-identical aggregate output.
+// The sweep engine (matrix.go) expands algorithm × adversary × scheduler ×
+// size × input × seed grids into independent seeded trials and fans them
+// over internal/parallel.Map with serial-identical aggregate output.
 package registry
 
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"asyncagree/internal/adversary"
@@ -42,18 +48,23 @@ const (
 // Has reports whether m includes q.
 func (m Mode) Has(q Mode) bool { return m&q != 0 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. A zero Mode renders as "none"; unknown
+// bits render as an explicit Mode(0x..) part instead of disappearing.
 func (m Mode) String() string {
-	switch {
-	case m.Has(ModeWindow) && m.Has(ModeStep):
-		return "window|step"
-	case m.Has(ModeWindow):
-		return "window"
-	case m.Has(ModeStep):
-		return "step"
-	default:
+	if m == 0 {
 		return "none"
 	}
+	var parts []string
+	if m.Has(ModeWindow) {
+		parts = append(parts, "window")
+	}
+	if m.Has(ModeStep) {
+		parts = append(parts, "step")
+	}
+	if rest := m &^ (ModeWindow | ModeStep); rest != 0 {
+		parts = append(parts, fmt.Sprintf("Mode(%#x)", uint8(rest)))
+	}
+	return strings.Join(parts, "|")
 }
 
 // Params carries the per-trial construction parameters shared by every
@@ -134,6 +145,12 @@ type Adversary struct {
 	Description string
 	// Resets reports whether the adversary performs resetting steps.
 	Resets bool
+	// PlansSenders reports that the adversary's strategy lives in its
+	// choice of per-receiver sender sets (fixed silence, split-vote, the
+	// chaos subsets). A non-adversary-driven scheduler would override and
+	// nullify that choice, so the sweep matrix pairs such adversaries only
+	// with the "adversary" scheduler.
+	PlansSenders bool
 	// Compatible reports whether the paper's claims (safety invariants,
 	// meaningful termination behavior) cover running alg under this
 	// adversary. The sweep matrix only expands compatible pairs; explicit
@@ -304,8 +321,8 @@ func NewAdversary(adv, alg string, p Params) (sim.WindowAdversary, error) {
 }
 
 // WriteInventory writes the human-readable registry listing (algorithms,
-// adversaries, input patterns with one-line descriptions) shared by the
-// CLIs' -list flags.
+// adversaries, delivery schedulers, input patterns with one-line
+// descriptions) shared by the CLIs' -list flags.
 func WriteInventory(w io.Writer) {
 	fmt.Fprintln(w, "algorithms:")
 	for _, a := range Algorithms() {
@@ -314,6 +331,10 @@ func WriteInventory(w io.Writer) {
 	fmt.Fprintln(w, "adversaries:")
 	for _, a := range Adversaries() {
 		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Description)
+	}
+	fmt.Fprintln(w, "schedulers:")
+	for _, s := range Schedulers() {
+		fmt.Fprintf(w, "  %-10s %s (modes: %s)\n", s.Name, s.Description, s.Modes)
 	}
 	fmt.Fprintln(w, "input patterns:")
 	for _, p := range InputPatterns() {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"asyncagree/internal/adversary"
+	"asyncagree/internal/sched"
 	"asyncagree/internal/sim"
 )
 
@@ -29,6 +30,16 @@ func TestInventoryComplete(t *testing.T) {
 			t.Fatalf("adversaries = %v, want %v", advs, wantAdvs)
 		}
 	}
+	scheds := SchedulerNames()
+	wantScheds := []string{"adversary", "full", "ascmin", "seeded", "laggard", "alternate"}
+	if len(scheds) != len(wantScheds) {
+		t.Fatalf("schedulers = %v, want %v", scheds, wantScheds)
+	}
+	for i, name := range wantScheds {
+		if scheds[i] != name {
+			t.Fatalf("schedulers = %v, want %v", scheds, wantScheds)
+		}
+	}
 	for _, a := range Algorithms() {
 		if a.Description == "" || !a.Modes.Has(ModeWindow) {
 			t.Fatalf("algorithm %q under-described", a.Name)
@@ -39,11 +50,52 @@ func TestInventoryComplete(t *testing.T) {
 			t.Fatalf("adversary %q under-described", a.Name)
 		}
 	}
+	for _, s := range Schedulers() {
+		if s.Description == "" || !s.Modes.Has(ModeWindow) {
+			t.Fatalf("scheduler %q under-described", s.Name)
+		}
+	}
+}
+
+// TestModeString is the Mode/String table test: every combination renders a
+// useful name — in particular the zero Mode is "none", never empty — and
+// unknown bits surface explicitly instead of disappearing.
+func TestModeString(t *testing.T) {
+	cases := []struct {
+		m    Mode
+		want string
+	}{
+		{0, "none"},
+		{ModeWindow, "window"},
+		{ModeStep, "step"},
+		{ModeWindow | ModeStep, "window|step"},
+		{1 << 5, "Mode(0x20)"},
+		{ModeWindow | 1<<5, "window|Mode(0x20)"},
+		{ModeWindow | ModeStep | 1<<7, "window|step|Mode(0x80)"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", c.m, got, c.want)
+		}
+	}
+	if !(ModeWindow | ModeStep).Has(ModeStep) || Mode(0).Has(ModeWindow) {
+		t.Fatal("Mode.Has broken")
+	}
 }
 
 func TestRegisterRejectsIncomplete(t *testing.T) {
 	if err := RegisterAlgorithm(Algorithm{Name: "broken"}); err == nil {
 		t.Fatal("incomplete algorithm accepted")
+	}
+	if err := RegisterScheduler(Scheduler{Name: "broken"}); err == nil {
+		t.Fatal("incomplete scheduler accepted")
+	}
+	if err := RegisterScheduler(Scheduler{
+		Name:       "full", // duplicate
+		Compatible: func(*Algorithm, *Adversary, Params) bool { return true },
+		New:        func(Params) (sched.Scheduler, error) { return sched.FullDelivery{}, nil },
+	}); err == nil {
+		t.Fatal("duplicate scheduler accepted")
 	}
 	if err := RegisterAlgorithm(Algorithm{
 		Name:     "core", // duplicate
@@ -63,6 +115,15 @@ func TestLookupUnknown(t *testing.T) {
 	}
 	if _, err := LookupAdversary("nope"); err == nil {
 		t.Fatal("unknown adversary accepted")
+	}
+	if _, err := LookupScheduler("nope"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := NewScheduler("nope", Params{N: 12, T: 1}); err == nil {
+		t.Fatal("NewScheduler with unknown scheduler accepted")
+	}
+	if _, err := NewScheduledAdversary("full", "nope", "core", Params{N: 12, T: 1}); err == nil {
+		t.Fatal("NewScheduledAdversary with unknown scheduler accepted")
 	}
 	if _, err := NewSystem("nope", Params{N: 4, T: 1}); err == nil {
 		t.Fatal("NewSystem with unknown algorithm accepted")
@@ -113,6 +174,97 @@ func TestAdversaryStateIsFresh(t *testing.T) {
 		}
 		if a1 == a2 {
 			t.Fatalf("%s: NewAdversary returned a shared instance", name)
+		}
+	}
+}
+
+// TestSchedulerStateIsFresh extends the same invariant to the stateful
+// delivery schedulers (rotation cursors, rng streams, reusable scratch).
+func TestSchedulerStateIsFresh(t *testing.T) {
+	p := Params{N: 12, T: 1, Seed: 1}
+	for _, name := range []string{"ascmin", "seeded", "laggard", "alternate"} {
+		s1, err := NewScheduler(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s2, err := NewScheduler(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s1 == s2 {
+			t.Fatalf("%s: NewScheduler returned a shared instance", name)
+		}
+	}
+}
+
+// TestSchedulerWindowRunnable pins the Modes gate: the sweep matrix runs
+// window-mode trials, so a scheduler without ModeWindow support is never
+// expanded no matter what its own predicate says.
+func TestSchedulerWindowRunnable(t *testing.T) {
+	alg, err := LookupAlgorithm("core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := LookupAdversary("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{N: 12, T: 1}
+	stepOnly := &Scheduler{
+		Name:       "step-only",
+		Modes:      ModeStep,
+		Compatible: func(*Algorithm, *Adversary, Params) bool { return true },
+		New:        func(Params) (sched.Scheduler, error) { return sched.FullDelivery{}, nil },
+	}
+	if stepOnly.WindowRunnable(alg, adv, p) {
+		t.Fatal("step-only scheduler reported window-runnable")
+	}
+	windowed, err := LookupScheduler("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !windowed.WindowRunnable(alg, adv, p) {
+		t.Fatal("full scheduler not window-runnable against core/full")
+	}
+}
+
+// TestSchedulerCompatibilityMatrix pins the scheduler axis filter: sender-
+// set-overriding schedulers reject adversaries whose strategy lives in
+// those sets, lossy schedulers reject full-delivery-dependent algorithms,
+// and persistently silencing schedulers additionally require silence
+// tolerance.
+func TestSchedulerCompatibilityMatrix(t *testing.T) {
+	p := Params{N: 27, T: 3}
+	cases := []struct {
+		sched, adv, alg string
+		want            bool
+	}{
+		{"adversary", "splitvote", "core", true}, // keeps the adversary's senders
+		{"adversary", "full", "committee", true},
+		{"full", "full", "committee", true},     // loss-free discipline
+		{"full", "splitvote", "core", false},    // would nullify the stalling strategy
+		{"full", "silence", "core", false},      // would nullify the silence
+		{"ascmin", "full", "core", true},        //
+		{"ascmin", "full", "paxos", false},      // persistent starvation can pin the proposer
+		{"ascmin", "full", "committee", false},  // lossy vs full-delivery dependence
+		{"ascmin", "subsets", "core", false},    // subsets plans its own senders
+		{"seeded", "full", "paxos", true},       // bounded loss, termination not asserted
+		{"seeded", "full", "committee", false},  //
+		{"laggard", "storm", "core", true},      // storm plans resets, not senders
+		{"laggard", "random", "core", false},    // random plans senders too
+		{"alternate", "full", "bracha", true},   //
+		{"alternate", "full", "paxos", false},   // odd windows persistently starve the top t
+		{"seeded", "silence", "benor", false},   //
+		{"full", "storm", "core", true},         //
+		{"laggard", "full", "committee", false}, //
+	}
+	for _, c := range cases {
+		got, err := SchedulerCompatible(c.sched, c.adv, c.alg, p)
+		if err != nil {
+			t.Fatalf("SchedulerCompatible(%s, %s, %s): %v", c.sched, c.adv, c.alg, err)
+		}
+		if got != c.want {
+			t.Fatalf("SchedulerCompatible(%s, %s, %s) = %v, want %v", c.sched, c.adv, c.alg, got, c.want)
 		}
 	}
 }

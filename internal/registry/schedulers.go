@@ -1,0 +1,237 @@
+package registry
+
+import (
+	"fmt"
+
+	"asyncagree/internal/sched"
+	"asyncagree/internal/sim"
+)
+
+// Scheduler is a self-describing delivery-scheduler entry wrapping an
+// internal/sched strategy: the axis of the scenario space that decides
+// *which* ≥ n−t senders each receiver admits per acceptable window.
+type Scheduler struct {
+	// Name is the stable registry key (e.g. "adversary", "ascmin").
+	Name string
+	// Description is a one-line human summary for CLI listings.
+	Description string
+	// Modes lists the execution modes the scheduler meaningfully supports.
+	// Every built-in supports ModeWindow; only the adversary-driven
+	// scheduler is meaningful in ModeStep, where step adversaries control
+	// delivery directly. The sweep matrix runs window-mode trials and only
+	// expands ModeWindow schedulers (see WindowRunnable).
+	Modes Mode
+	// Compatible reports whether the sweep matrix should expand this
+	// scheduler spliced into the (alg, adv) pairing. Schedulers that
+	// override sender sets must reject adversaries whose strategy lives in
+	// those sets (Adversary.PlansSenders) and algorithms whose guarantees
+	// the discipline voids (e.g. lossy delivery against NeedsFullDelivery).
+	Compatible func(alg *Algorithm, adv *Adversary, p Params) bool
+	// New returns FRESH scheduler state for one trial. Implementations
+	// must never return a shared instance: schedulers carry mutable
+	// per-execution state (rotation cursors, rng streams, reusable
+	// scratch) and trials run concurrently.
+	New func(p Params) (sched.Scheduler, error)
+}
+
+var (
+	schedulers     []*Scheduler
+	schedulerByKey = map[string]*Scheduler{}
+)
+
+// RegisterScheduler adds a scheduler descriptor. Names must be unique;
+// Compatible and New are mandatory.
+func RegisterScheduler(s Scheduler) error {
+	if s.Name == "" || s.Compatible == nil || s.New == nil {
+		return fmt.Errorf("registry: scheduler descriptor %q incomplete", s.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := schedulerByKey[s.Name]; dup {
+		return fmt.Errorf("registry: duplicate scheduler %q", s.Name)
+	}
+	entry := &s
+	schedulers = append(schedulers, entry)
+	schedulerByKey[s.Name] = entry
+	return nil
+}
+
+func mustRegisterScheduler(s Scheduler) {
+	if err := RegisterScheduler(s); err != nil {
+		panic(err)
+	}
+}
+
+// Schedulers returns the registered scheduler descriptors in registration
+// order. The returned slice is a copy; the descriptors are shared and must
+// not be mutated.
+func Schedulers() []*Scheduler {
+	mu.RLock()
+	defer mu.RUnlock()
+	return append([]*Scheduler(nil), schedulers...)
+}
+
+// SchedulerNames returns the registered scheduler names in registration
+// order.
+func SchedulerNames() []string {
+	scheds := Schedulers()
+	names := make([]string, len(scheds))
+	for i, s := range scheds {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// LookupScheduler resolves a name.
+func LookupScheduler(name string) (*Scheduler, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s, ok := schedulerByKey[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown scheduler %q", name)
+	}
+	return s, nil
+}
+
+// NewScheduler constructs fresh per-trial state for the named scheduler.
+func NewScheduler(name string, p Params) (sched.Scheduler, error) {
+	s, err := LookupScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.New(p)
+}
+
+// NewScheduledAdversary constructs the full window plan of one trial: fresh
+// adversary state for advName tuned to algName, with its delivery
+// discipline overridden by fresh schedName scheduler state (the "adversary"
+// scheduler keeps the adversary's own sender sets byte-identically).
+func NewScheduledAdversary(advName, schedName, algName string, p Params) (sim.WindowAdversary, error) {
+	adv, err := NewAdversary(advName, algName, p)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := NewScheduler(schedName, p)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Compose(adv, sch), nil
+}
+
+// WindowRunnable reports whether the sweep matrix can splice the scheduler
+// into window-mode trials of the (alg, adv) pairing: the matrix executes
+// window mode, so a scheduler without ModeWindow support is incompatible
+// with every pairing regardless of its own predicate.
+func (s *Scheduler) WindowRunnable(alg *Algorithm, adv *Adversary, p Params) bool {
+	return s.Modes.Has(ModeWindow) && s.Compatible(alg, adv, p)
+}
+
+// SchedulerCompatible reports whether the sweep matrix would splice the
+// named scheduler into the named (algorithm, adversary) pairing at p.
+func SchedulerCompatible(schedName, advName, algName string, p Params) (bool, error) {
+	s, err := LookupScheduler(schedName)
+	if err != nil {
+		return false, err
+	}
+	ad, err := LookupAdversary(advName)
+	if err != nil {
+		return false, err
+	}
+	a, err := LookupAlgorithm(algName)
+	if err != nil {
+		return false, err
+	}
+	return s.WindowRunnable(a, ad, p), nil
+}
+
+// overridesSenders is the baseline compatibility check shared by every
+// scheduler that replaces the adversary's sender sets: the adversary's
+// strategy must not live in those sets.
+func overridesSenders(_ *Algorithm, adv *Adversary, _ Params) bool {
+	return !adv.PlansSenders
+}
+
+// lossyCompatible is the compatibility check for schedulers that may drop
+// messages: on top of overridesSenders, the algorithm must not assume every
+// message is eventually delivered (window mode drops each window's
+// undelivered remainder, so a lossy discipline can wedge such an algorithm
+// forever).
+func lossyCompatible(alg *Algorithm, adv *Adversary, p Params) bool {
+	return overridesSenders(alg, adv, p) && !alg.NeedsFullDelivery
+}
+
+// silencingCompatible is the compatibility check for schedulers that starve
+// a fixed sender set persistently: the algorithm must additionally tolerate
+// silenced processors (a persistent starvation can pin a committee group or
+// the lone Paxos proposer forever).
+func silencingCompatible(alg *Algorithm, adv *Adversary, p Params) bool {
+	return lossyCompatible(alg, adv, p) && alg.SilenceTolerant
+}
+
+func init() {
+	mustRegisterScheduler(Scheduler{
+		Name:        "adversary",
+		Description: "delivery chosen by the adversary's own window plan (the pre-scheduler default)",
+		Modes:       ModeWindow | ModeStep,
+		Compatible:  func(*Algorithm, *Adversary, Params) bool { return true },
+		New: func(Params) (sched.Scheduler, error) {
+			return sched.AdversaryDriven{}, nil
+		},
+	})
+
+	// "full" pairs only with adversaries that plan no sender sets, whose
+	// window plans are therefore already full delivery — its sweep cells
+	// deliberately mirror the "adversary" cells trial for trial. It stays
+	// in the matrix so the scheduler axis is self-contained, and in the
+	// registry so explicit runs (cmd/agree, E14, the facade) can force
+	// full delivery as a named baseline.
+	mustRegisterScheduler(Scheduler{
+		Name:        "full",
+		Description: "deliver every message to every receiver",
+		Modes:       ModeWindow,
+		Compatible:  overridesSenders,
+		New: func(Params) (sched.Scheduler, error) {
+			return sched.FullDelivery{}, nil
+		},
+	})
+
+	mustRegisterScheduler(Scheduler{
+		Name:        "ascmin",
+		Description: "exactly the n-t lowest senders for every receiver (persistent top-t starvation)",
+		Modes:       ModeWindow,
+		Compatible:  silencingCompatible,
+		New: func(Params) (sched.Scheduler, error) {
+			return sched.NewAscendingMinimal(), nil
+		},
+	})
+
+	mustRegisterScheduler(Scheduler{
+		Name:        "seeded",
+		Description: "independent random (n-t)-subset per receiver per window, deterministic per trial seed",
+		Modes:       ModeWindow,
+		Compatible:  lossyCompatible,
+		New: func(p Params) (sched.Scheduler, error) {
+			return sched.NewSeededRandom(p.Seed), nil
+		},
+	})
+
+	mustRegisterScheduler(Scheduler{
+		Name:        "laggard",
+		Description: "starve a rotating t-subset for an epoch of windows, then rotate (bounded unfairness)",
+		Modes:       ModeWindow,
+		Compatible:  lossyCompatible,
+		New: func(Params) (sched.Scheduler, error) {
+			return sched.NewLaggard(0, 0), nil
+		},
+	})
+
+	mustRegisterScheduler(Scheduler{
+		Name:        "alternate",
+		Description: "full delivery on even windows, ascending-minimal on odd ones",
+		Modes:       ModeWindow,
+		Compatible:  silencingCompatible,
+		New: func(Params) (sched.Scheduler, error) {
+			return sched.NewAlternate(), nil
+		},
+	})
+}

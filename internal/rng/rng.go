@@ -84,26 +84,43 @@ func (s *Source) Fork(label uint64) *Source {
 // Perm returns a uniformly random permutation of [0, n) using Fisher-Yates.
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)
+	s.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)) using
+// Fisher-Yates — the allocation-free counterpart of Perm for callers that
+// own reusable scratch. It draws exactly the same values from the stream as
+// Perm(len(p)).
+func (s *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := s.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Subset returns a uniformly random k-element subset of [0, n), sorted
 // ascending. It panics if k > n or k < 0.
 func (s *Source) Subset(n, k int) []int {
-	if k < 0 || k > n {
-		panic("rng: Subset called with k out of range")
+	return s.SubsetInto(make([]int, n), k)
+}
+
+// SubsetInto returns a uniformly random k-element subset of [0, len(dst)),
+// sorted ascending, in dst[:k] — the allocation-free counterpart of Subset
+// for callers that own an n-length scratch slice (contents need not be
+// initialized). It draws exactly the same values from the stream as
+// Subset(len(dst), k). It panics if k > len(dst) or k < 0.
+func (s *Source) SubsetInto(dst []int, k int) []int {
+	if k < 0 || k > len(dst) {
+		panic("rng: SubsetInto called with k out of range")
 	}
-	// Partial Fisher-Yates over an index slice, then sort by insertion (k is
-	// typically small relative to allocation cost of importing sort).
-	p := s.Perm(n)
-	out := p[:k]
+	// Fisher-Yates over the scratch, then sort by insertion (k is typically
+	// small relative to the cost of importing sort).
+	s.PermInto(dst)
+	out := dst[:k]
 	insertionSort(out)
 	return out
 }

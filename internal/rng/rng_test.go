@@ -133,6 +133,37 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
+// TestSubsetIntoMatchesSubset pins the stream-identity contract: the
+// allocation-free scratch variants draw exactly the same values as their
+// allocating counterparts, so swapping one for the other never changes an
+// execution.
+func TestSubsetIntoMatchesSubset(t *testing.T) {
+	a, b := New(99), New(99)
+	scratch := make([]int, 32)
+	for _, nk := range [][2]int{{10, 3}, {10, 10}, {1, 0}, {32, 30}, {7, 1}} {
+		n, k := nk[0], nk[1]
+		want := a.Subset(n, k)
+		got := b.SubsetInto(scratch[:n], k)
+		if len(got) != len(want) {
+			t.Fatalf("SubsetInto(%d, %d) length %d, want %d", n, k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("SubsetInto(%d, %d) = %v, want %v", n, k, got, want)
+			}
+		}
+	}
+	if testing.AllocsPerRun(100, func() { New(5).SubsetInto(scratch[:16], 12) }) > 1 {
+		t.Fatal("SubsetInto allocates beyond its Source")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubsetInto with k > len(dst) did not panic")
+		}
+	}()
+	New(1).SubsetInto(scratch[:4], 5)
+}
+
 func TestSubsetProperties(t *testing.T) {
 	s := New(13)
 	check := func(n, k uint8) bool {

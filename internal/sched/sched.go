@@ -1,0 +1,310 @@
+// Package sched makes the delivery discipline of acceptable windows a
+// first-class, pluggable subsystem.
+//
+// The Lewko–Lewko lower bound lives or dies on *which* ≥ n−t senders the
+// adversary admits into each acceptable window (Definition 1), yet the
+// adversaries in internal/adversary bundle that choice together with resets
+// and crash injection. A Scheduler isolates the delivery axis: given the
+// window's just-sent batch and the full crash/fault state, it produces the
+// per-receiver sender sets that sim.System.WindowDeliver admits. Everything
+// else an adversary does — resets, crashes, corruption — stays with the
+// adversary; Compose splices the two together into one sim.WindowAdversary.
+//
+// A scheduler differs from an adversary in scope, not in power: every
+// scheduler here emits only legal windows (each receiver admits ≥ n−t
+// distinct senders, property-tested in sched_test.go), so a scheduler is
+// exactly the delivery half of a Definition 1 adversary. The AdversaryDriven
+// scheduler closes the loop by keeping the adversary's own sender sets,
+// making the pre-scheduler behavior one strategy among peers.
+//
+// Built-in strategies (registered as descriptors in internal/registry and
+// selectable via cmd/sweep -scheds and cmd/agree -sched):
+//
+//   - AdversaryDriven: the adversary's own window plan (the default).
+//   - FullDelivery: every message is delivered.
+//   - AscendingMinimal: exactly the n−t lowest sender IDs for every
+//     receiver — the ascending-order minimal discipline, equivalent to
+//     permanently silencing the top t processors (Lemmas 11/13 shape).
+//   - SeededRandom: an independent uniformly random (n−t)-subset per
+//     receiver per window, deterministic per trial seed.
+//   - Laggard: persistently starves a rotating k-subset (k ≤ t) for an
+//     epoch of windows, then rotates — bounded unfairness that, unlike
+//     fixed silence, eventually reaches every processor.
+//   - Alternate: full delivery on even windows, AscendingMinimal on odd
+//     ones — a guaranteed-progress lossy discipline.
+//
+// Schedulers carry per-trial mutable state (rotation cursors, rng streams,
+// reusable scratch): construct a fresh one per execution and never share an
+// instance across concurrent trials, exactly like adversaries.
+package sched
+
+import (
+	"asyncagree/internal/rng"
+	"asyncagree/internal/sim"
+)
+
+// Scheduler chooses, for one acceptable window, which senders' just-sent
+// messages each receiver admits.
+type Scheduler interface {
+	// PlanSenders returns the per-receiver sender sets in
+	// sim.Window.Senders form: element i lists the senders whose just-sent
+	// messages processor i receives this window; a nil element (or a nil
+	// result) means "all senders". Every non-nil element must contain
+	// ≥ n−t distinct in-range senders (Definition 1). Sets may include
+	// crashed senders — they simply contributed nothing to the batch,
+	// matching the crash-model reuse of windows (Definition 19).
+	//
+	// The returned slices are scratch owned by the scheduler and are valid
+	// only until the next PlanSenders call.
+	PlanSenders(s *sim.System, batch []sim.Message) [][]sim.ProcID
+}
+
+// Compose wraps adv so that the window's delivery discipline comes from sch
+// while everything else the adversary plans — resets, crash injection —
+// is preserved. An AdversaryDriven (or nil) scheduler short-circuits to adv
+// itself, keeping the adversary's own sender sets byte-identically.
+func Compose(adv sim.WindowAdversary, sch Scheduler) sim.WindowAdversary {
+	if sch == nil {
+		return adv
+	}
+	if _, ok := sch.(AdversaryDriven); ok {
+		return adv
+	}
+	return &scheduled{adv: adv, sch: sch}
+}
+
+// scheduled is the Compose result: the adversary plans the window, the
+// scheduler overrides its sender sets.
+type scheduled struct {
+	adv sim.WindowAdversary
+	sch Scheduler
+}
+
+var _ sim.WindowAdversary = (*scheduled)(nil)
+
+// PlanDelivery implements sim.WindowAdversary.
+func (c *scheduled) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
+	w := c.adv.PlanDelivery(s, batch)
+	w.Senders = c.sch.PlanSenders(s, batch)
+	return w
+}
+
+// AdversaryDriven keeps the adversary's own sender sets: Compose
+// short-circuits it, so the composed adversary is exactly the wrapped one.
+// This is the delivery discipline every pre-scheduler experiment used, now
+// one strategy among peers.
+type AdversaryDriven struct{}
+
+var _ Scheduler = AdversaryDriven{}
+
+// PlanSenders implements Scheduler. It is never reached through Compose
+// (which short-circuits to the adversary); called directly it returns nil,
+// i.e. full delivery.
+func (AdversaryDriven) PlanSenders(*sim.System, []sim.Message) [][]sim.ProcID {
+	return nil
+}
+
+// FullDelivery admits every sender for every receiver.
+type FullDelivery struct{}
+
+var _ Scheduler = FullDelivery{}
+
+// PlanSenders implements Scheduler; nil means all senders, allocation-free.
+func (FullDelivery) PlanSenders(*sim.System, []sim.Message) [][]sim.ProcID {
+	return nil
+}
+
+// uniformScratch holds the reusable row-sharing scratch used by schedulers
+// that show the same sender set to every receiver: rows is the n-element
+// Senders slice whose entries all alias set.
+type uniformScratch struct {
+	set  []sim.ProcID
+	rows [][]sim.ProcID
+}
+
+// uniform sizes the scratch for n receivers and returns the shared set
+// resliced to length 0, ready to be filled.
+func (u *uniformScratch) uniform(n int) []sim.ProcID {
+	if cap(u.rows) < n {
+		u.rows = make([][]sim.ProcID, n)
+		u.set = make([]sim.ProcID, 0, n)
+	}
+	u.rows = u.rows[:n]
+	return u.set[:0]
+}
+
+// share points every receiver's row at set and returns the Senders slice.
+func (u *uniformScratch) share(set []sim.ProcID) [][]sim.ProcID {
+	u.set = set
+	for i := range u.rows {
+		u.rows[i] = set
+	}
+	return u.rows
+}
+
+// AscendingMinimal admits exactly the n−t lowest sender IDs for every
+// receiver: the minimal ascending-order discipline Definition 1 permits. It
+// is equivalent to permanently silencing the top t processors, so pair it
+// only with silence-tolerant algorithms. Construct via NewAscendingMinimal;
+// instances carry reusable scratch and must not be shared across trials.
+type AscendingMinimal struct {
+	scratch uniformScratch
+}
+
+var _ Scheduler = (*AscendingMinimal)(nil)
+
+// NewAscendingMinimal returns a fresh ascending-minimal scheduler.
+func NewAscendingMinimal() *AscendingMinimal { return &AscendingMinimal{} }
+
+// PlanSenders implements Scheduler.
+func (a *AscendingMinimal) PlanSenders(s *sim.System, _ []sim.Message) [][]sim.ProcID {
+	n, t := s.N(), s.T()
+	set := a.scratch.uniform(n)
+	for p := 0; p < n-t; p++ {
+		set = append(set, sim.ProcID(p))
+	}
+	return a.scratch.share(set)
+}
+
+// SeededRandom admits an independent uniformly random (n−t)-subset per
+// receiver per window, drawn from its own deterministic stream: equal seeds
+// replay the exact same delivery schedule. Construct via NewSeededRandom;
+// instances carry rng state and must not be shared across trials.
+type SeededRandom struct {
+	rng  *rng.Source
+	idx  []int // index scratch for allocation-free subset draws
+	rows [][]sim.ProcID
+}
+
+var _ Scheduler = (*SeededRandom)(nil)
+
+// NewSeededRandom returns a fresh seeded-random scheduler.
+func NewSeededRandom(seed uint64) *SeededRandom {
+	return &SeededRandom{rng: rng.New(seed)}
+}
+
+// PlanSenders implements Scheduler.
+func (r *SeededRandom) PlanSenders(s *sim.System, _ []sim.Message) [][]sim.ProcID {
+	n, t := s.N(), s.T()
+	if cap(r.rows) < n {
+		r.rows = make([][]sim.ProcID, n)
+		r.idx = make([]int, n)
+	}
+	r.rows = r.rows[:n]
+	for i := range r.rows {
+		if t == 0 {
+			r.rows[i] = nil // nil = all senders
+			continue
+		}
+		set := r.rows[i][:0]
+		for _, v := range r.rng.SubsetInto(r.idx[:n], n-t) {
+			set = append(set, sim.ProcID(v))
+		}
+		r.rows[i] = set
+	}
+	return r.rows
+}
+
+// Laggard persistently starves a rotating subset: for Epoch consecutive
+// windows no receiver admits anything from the current K laggards, then the
+// laggard set rotates by K through the ring. K is capped at the system's
+// fault budget t, keeping every window acceptable. Unlike fixed silence the
+// rotation eventually delivers from every processor, so this is bounded
+// unfairness rather than permanent exclusion. Construct via NewLaggard;
+// instances carry the rotation cursor and must not be shared across trials.
+type Laggard struct {
+	// K is the starved-subset size; 0 means "the fault budget t".
+	K int
+	// Epoch is the number of windows between rotations; 0 means 8.
+	Epoch int
+
+	window  int
+	cursor  int
+	scratch uniformScratch
+}
+
+var _ Scheduler = (*Laggard)(nil)
+
+// NewLaggard returns a fresh laggard scheduler starving k processors per
+// epoch of `epoch` windows (0 means the defaults: k = t, epoch = 8).
+func NewLaggard(k, epoch int) *Laggard { return &Laggard{K: k, Epoch: epoch} }
+
+// starvedCount resolves K against the fault budget: 0 (or an over-budget
+// K) means "the full budget t". Shared by PlanSenders and Starved so the
+// reported set can never drift from the starved one.
+func (l *Laggard) starvedCount(t int) int {
+	if l.K <= 0 || l.K > t {
+		return t
+	}
+	return l.K
+}
+
+// epochLen resolves Epoch: 0 means the default of 8 windows.
+func (l *Laggard) epochLen() int {
+	if l.Epoch <= 0 {
+		return 8
+	}
+	return l.Epoch
+}
+
+// PlanSenders implements Scheduler.
+func (l *Laggard) PlanSenders(s *sim.System, _ []sim.Message) [][]sim.ProcID {
+	n, t := s.N(), s.T()
+	k := l.starvedCount(t)
+	epoch := l.epochLen()
+	if l.window > 0 && l.window%epoch == 0 {
+		l.cursor = (l.cursor + k) % max(n, 1)
+	}
+	l.window++
+	if k == 0 {
+		return nil // t = 0 leaves nothing to starve
+	}
+	// Admit everyone outside the current laggard ring segment
+	// [cursor, cursor+k).
+	set := l.scratch.uniform(n)
+	for p := 0; p < n; p++ {
+		d := (p - l.cursor + n) % n
+		if d < k {
+			continue
+		}
+		set = append(set, sim.ProcID(p))
+	}
+	return l.scratch.share(set)
+}
+
+// Starved returns the processors the scheduler is currently starving, in
+// ring order (for traces and examples; the slice is freshly allocated).
+func (l *Laggard) Starved(n, t int) []sim.ProcID {
+	k := l.starvedCount(t)
+	out := make([]sim.ProcID, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, sim.ProcID((l.cursor+i)%n))
+	}
+	return out
+}
+
+// Alternate interleaves full delivery (even windows) with the ascending
+// minimal discipline (odd windows): a lossy schedule with a built-in
+// progress guarantee, useful as a gentler cousin of AscendingMinimal.
+// Construct via NewAlternate; instances carry the window parity and must
+// not be shared across trials.
+type Alternate struct {
+	window int
+	min    AscendingMinimal
+}
+
+var _ Scheduler = (*Alternate)(nil)
+
+// NewAlternate returns a fresh alternating scheduler starting with a
+// full-delivery window.
+func NewAlternate() *Alternate { return &Alternate{} }
+
+// PlanSenders implements Scheduler.
+func (a *Alternate) PlanSenders(s *sim.System, batch []sim.Message) [][]sim.ProcID {
+	odd := a.window%2 == 1
+	a.window++
+	if !odd {
+		return nil
+	}
+	return a.min.PlanSenders(s, batch)
+}

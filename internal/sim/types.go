@@ -19,7 +19,9 @@
 //     detectable).
 //
 // The adversary (package adversary) controls the order and nature of steps
-// with full information. Two execution modes are provided:
+// with full information; the delivery discipline of window mode — which
+// ≥ n−t senders each receiver admits — can also be supplied separately by a
+// pluggable scheduler (package sched). Two execution modes are provided:
 //
 //   - window mode (System.RunWindows) structures the execution as adjacent
 //     disjoint acceptable windows per Definition 1 of the paper: all n

@@ -1,6 +1,16 @@
 // Package stats provides the small statistical toolkit used by the
-// experiment harness: summaries, quantiles, exponential growth fits (for the
-// Theorem 5/17 running-time experiments), and aligned table rendering.
+// experiment harness and the sweep engine:
+//
+//   - Summarize/SummarizeInts/Quantile: per-batch summaries (mean, median,
+//     min/max, quantiles) of trial measurements;
+//   - FitExponential: least-squares fits of y ~ C·exp(αx), the shape the
+//     Theorem 5/17 running-time experiments (E2, E7, E8) test against the
+//     paper's exponential lower bounds;
+//   - Table: deterministic aligned text rendering shared by every
+//     experiment table in EXPERIMENTS.md and by registry.Sweep.Table.
+//
+// Everything here is a pure function of its inputs (Table rows render in
+// insertion order), keeping experiment output byte-identical run to run.
 package stats
 
 import (
