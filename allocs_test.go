@@ -1,13 +1,17 @@
 package asyncagree
 
-import "testing"
+import (
+	"testing"
+
+	"asyncagree/internal/registry"
+)
 
 // TestApplyWindowAllocs is the allocation-regression guard for the window
 // hot loop: after warmup, one full acceptable window of the core algorithm
-// under full delivery must stay within a small per-window allocation budget.
-// The remaining allocations are the one boxed Vote payload per broadcasting
-// processor (n per window) plus occasional map-churn in the per-round vote
-// bookkeeping; the seed implementation spent ~36n allocations per window.
+// under full delivery must allocate NOTHING — the vote payload boxes (the
+// last remaining per-window source, n boxes per window) are now pooled and
+// reclaimed by the System at window end. The seed implementation spent
+// ~36n allocations per window; PR 1 cut that to ~n; this pins zero.
 func TestApplyWindowAllocs(t *testing.T) {
 	const n = 24
 	cfg := Config{Algorithm: AlgorithmCore, N: n, T: n / 8, Inputs: SplitInputs(n), Seed: 1}
@@ -26,10 +30,64 @@ func TestApplyWindowAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	// Budget: n payload boxes + slack for amortized map growth. The seed
-	// implementation measured ~855 allocs/window at n=24.
-	if allocs > float64(2*n) {
-		t.Fatalf("ApplyWindow allocates %.1f per window at n=%d, budget %d", allocs, n, 2*n)
+	if allocs > 0 {
+		t.Fatalf("ApplyWindow allocates %.1f per window at n=%d, want 0", allocs, n)
+	}
+}
+
+// TestRecycledTrialAllocFree is the allocation-regression guard for the
+// pooled trial engine: once the scenario pool is warm, a complete recycled
+// trial — acquire, System.Recycle, full windows-to-decision run, release —
+// of the core algorithm under full delivery must allocate NOTHING. This
+// pins the tentpole property that steady-state sweep execution reuses the
+// system, processes, payload boxes, and adversary state wholesale.
+func TestRecycledTrialAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race builds randomize sync.Pool retention; the scenario pool cannot stay warm")
+	}
+	p := registry.Params{N: 12, T: 1, Inputs: SplitInputs(12), Seed: 7}
+	run := func() {
+		res, err := registry.RunPooledTrial("core", "full", "adversary", p, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided {
+			t.Fatal("trial did not decide")
+		}
+	}
+	for i := 0; i < 16; i++ { // warm the scenario pool, payload boxes, arenas
+		run()
+	}
+	allocs := testing.AllocsPerRun(200, run)
+	if allocs > 0 {
+		t.Fatalf("recycled core+full trial allocates %.1f per trial, want 0", allocs)
+	}
+}
+
+// TestRecycledSplitVoteTrialAllocs pins the recycled steady state of the
+// sweep engine's heaviest standard cell, Ben-Or under the split-vote
+// stalling adversary: pooled tallies, payload boxes, and the adversary's
+// planning scratch hold per-trial allocations to (near) zero.
+func TestRecycledSplitVoteTrialAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race builds randomize sync.Pool retention; the scenario pool cannot stay warm")
+	}
+	p := registry.Params{N: 12, T: 1, Inputs: SplitInputs(12), Seed: 5}
+	run := func() {
+		res, err := registry.RunPooledTrial("benor", "splitvote", "adversary", p, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllDecided {
+			t.Fatal("trial did not decide")
+		}
+	}
+	for i := 0; i < 16; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(100, run)
+	if allocs > 2 { // slack for amortized map growth in round bookkeeping
+		t.Fatalf("recycled benor+splitvote trial allocates %.1f per trial, budget 2", allocs)
 	}
 }
 

@@ -55,7 +55,7 @@ func BenchmarkE14SchedCurves(b *testing.B)     { benchExperiment(b, "E14") }
 // this benchmark cannot drift apart.
 func BenchmarkWindowThroughput(b *testing.B) {
 	for _, n := range []int{12, 24, 48} {
-		b.Run(sizeLabel(n), benchcases.WindowThroughput(n))
+		b.Run(benchcases.SizeLabel(n), benchcases.WindowThroughput(n))
 	}
 }
 
@@ -63,41 +63,22 @@ func BenchmarkWindowThroughput(b *testing.B) {
 // cost.
 func BenchmarkSplitVoteWindow(b *testing.B) {
 	for _, n := range []int{24, 48} {
-		b.Run(sizeLabel(n), benchcases.SplitVoteWindow(n))
+		b.Run(benchcases.SizeLabel(n), benchcases.SplitVoteWindow(n))
 	}
 }
 
 // BenchmarkBrachaWindow measures windows of the RBC-based protocol (about
-// an order of magnitude more traffic per window than core).
+// an order of magnitude more traffic per window than core). The body is
+// shared with cmd/bench via internal/benchcases, so the case is tracked in
+// BENCH_baseline.json too.
 func BenchmarkBrachaWindow(b *testing.B) {
-	cfg := Config{Algorithm: AlgorithmBracha, N: 13, T: 4, Inputs: SplitInputs(13), Seed: 1}
-	s, err := New(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	adv := FullDelivery()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := s.ApplyWindowWith(adv); err != nil {
-			b.Fatal(err)
-		}
-	}
+	b.Run(benchcases.SizeLabel(13), benchcases.BrachaWindow(13))
 }
 
-// BenchmarkPaxosDecision measures full solo-proposer Paxos decisions.
+// BenchmarkPaxosDecision measures full solo-proposer Paxos decisions. The
+// body is shared with cmd/bench via internal/benchcases.
 func BenchmarkPaxosDecision(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s, err := New(Config{Algorithm: AlgorithmPaxos, N: 5, T: 2, Inputs: SplitInputs(5), Seed: uint64(i + 1)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := s.RunSteps(Lockstep(), 100000); err != nil {
-			b.Fatal(err)
-		}
-		if s.DecidedCount() == 0 {
-			b.Fatal("no decision")
-		}
-	}
+	b.Run(benchcases.SizeLabel(5), benchcases.PaxosDecision(5))
 }
 
 // BenchmarkTalagrandExact measures exact product-measure computation.
@@ -147,22 +128,4 @@ func BenchmarkRandomWindows(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-}
-
-func sizeLabel(n int) string {
-	return "n=" + itoa(n)
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

@@ -1,18 +1,35 @@
 // Command bench runs the simulator substrate micro-benchmarks through
 // testing.Benchmark and writes the results as JSON, giving every PR a
-// recorded perf trajectory to compare against.
+// recorded perf trajectory to compare against. With -compare it instead
+// diffs a fresh run against a committed baseline and exits non-zero on a
+// regression, which CI runs as a perf smoke step.
 //
 // Usage:
 //
-//	bench                          # print JSON to stdout
-//	bench -out BENCH_baseline.json # record the committed baseline
-//	bench -benchtime 2s            # more stable numbers
+//	bench                               # print JSON to stdout
+//	bench -out BENCH_baseline.json      # record the committed baseline
+//	bench -benchtime 2s                 # more stable numbers
+//	bench -compare BENCH_baseline.json  # perf smoke: fail on regression
+//
+// Regression rules for -compare: an entry fails on ns/op above
+// baseline*(1+threshold) (default 0.25), or on allocs/op above
+// baseline*(1+allocs-threshold)+allocs-grace. The two thresholds are
+// separate flags so CI can widen the noisy, machine-dependent ns/op bound
+// without loosening the machine-independent allocation gate. The small
+// absolute grace (default 8) absorbs cross-machine variance in amortized
+// warm-up allocations (worker counts change how many pooled trial engines
+// are constructed before steady state); any systematic re-introduction of
+// per-window or per-trial allocation exceeds it immediately. A baseline
+// entry with no matching fresh benchmark also fails the comparison: a
+// renamed or deleted case must come with a regenerated baseline, not a
+// silent coverage hole.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"testing"
 	"time"
@@ -29,6 +46,12 @@ type Entry struct {
 	N           int     `json:"n"`
 }
 
+// baselineDoc is the BENCH_baseline.json layout.
+type baselineDoc struct {
+	Note    string  `json:"note"`
+	Entries []Entry `json:"benchmarks"`
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -36,11 +59,43 @@ func main() {
 	}
 }
 
+// suite returns the benchmark inventory in recording order. The bodies live
+// in internal/benchcases, shared with the root bench_test.go, so the
+// baseline and `go test -bench` measure identical code.
+func suite() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	var cases []struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		cases = append(cases, struct {
+			name string
+			fn   func(b *testing.B)
+		}{name, fn})
+	}
+	for _, n := range []int{12, 24, 48} {
+		add("WindowThroughput/"+benchcases.SizeLabel(n), benchcases.WindowThroughput(n))
+	}
+	add("SplitVoteWindow/"+benchcases.SizeLabel(24), benchcases.SplitVoteWindow(24))
+	add("BrachaWindow/"+benchcases.SizeLabel(13), benchcases.BrachaWindow(13))
+	add("PaxosDecision/"+benchcases.SizeLabel(5), benchcases.PaxosDecision(5))
+	add("BufferOps", benchcases.BufferOps())
+	add("SweepThroughput", benchcases.SweepThroughput())
+	return cases
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "", "write JSON here instead of stdout")
-		benchtime = fs.Duration("benchtime", time.Second, "target time per benchmark")
+		out          = fs.String("out", "", "write JSON here instead of stdout")
+		benchtime    = fs.Duration("benchtime", time.Second, "target time per benchmark")
+		compare      = fs.String("compare", "", "diff a fresh run against this baseline JSON and exit non-zero on regression")
+		threshold    = fs.Float64("threshold", 0.25, "relative ns/op regression threshold for -compare")
+		allocsThresh = fs.Float64("allocs-threshold", 0.25, "relative allocs/op regression threshold for -compare")
+		allocsGrace  = fs.Int64("allocs-grace", 8, "absolute allocs/op grace for -compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,32 +106,25 @@ func run(args []string) error {
 	}
 
 	var entries []Entry
-	record := func(name string, fn func(b *testing.B)) {
-		res := testing.Benchmark(fn)
+	for _, c := range suite() {
+		res := testing.Benchmark(c.fn)
 		entries = append(entries, Entry{
-			Name:        name,
+			Name:        c.name,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			N:           res.N,
 		})
+		e := entries[len(entries)-1]
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
-			name, entries[len(entries)-1].NsPerOp, res.AllocsPerOp(), res.AllocedBytesPerOp())
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
 	}
 
-	// The benchmark bodies live in internal/benchcases, shared with the root
-	// bench_test.go, so this baseline and CI measure identical code.
-	for _, n := range []int{12, 24, 48} {
-		record(fmt.Sprintf("WindowThroughput/n=%d", n), benchcases.WindowThroughput(n))
+	if *compare != "" {
+		return compareBaseline(*compare, entries, *threshold, *allocsThresh, *allocsGrace)
 	}
-	record("SplitVoteWindow/n=24", benchcases.SplitVoteWindow(24))
-	record("BufferOps", benchcases.BufferOps())
-	record("SweepThroughput", benchcases.SweepThroughput())
 
-	doc := struct {
-		Note    string  `json:"note"`
-		Entries []Entry `json:"benchmarks"`
-	}{
+	doc := baselineDoc{
 		Note:    "regenerate with: go run ./cmd/bench -out BENCH_baseline.json",
 		Entries: entries,
 	}
@@ -90,4 +138,53 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, js, 0o644)
+}
+
+// compareBaseline diffs fresh entries against the baseline file and returns
+// an error (non-zero exit) if any shared entry regressed or any baseline
+// entry was not measured by the fresh run.
+func compareBaseline(path string, fresh []Entry, nsThresh, allocsThresh float64, allocsGrace int64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baselineDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	byName := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+
+	regressions := 0
+	measured := make(map[string]bool, len(fresh))
+	for _, e := range fresh {
+		measured[e.Name] = true
+		b, ok := byName[e.Name]
+		if !ok {
+			fmt.Printf("%-28s NEW (no baseline entry; record with -out)\n", e.Name)
+			continue
+		}
+		nsLimit := b.NsPerOp * (1 + nsThresh)
+		allocLimit := int64(math.Ceil(float64(b.AllocsPerOp)*(1+allocsThresh))) + allocsGrace
+		status := "ok"
+		if e.NsPerOp > nsLimit || e.AllocsPerOp > allocLimit {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-28s %-10s ns/op %12.0f -> %12.0f (limit %12.0f)  allocs/op %8d -> %8d (limit %8d)\n",
+			e.Name, status, b.NsPerOp, e.NsPerOp, nsLimit, b.AllocsPerOp, e.AllocsPerOp, allocLimit)
+	}
+	for _, b := range base.Entries {
+		if !measured[b.Name] {
+			fmt.Printf("%-28s MISSING (baseline entry not measured; regenerate the baseline if it was renamed or removed)\n", b.Name)
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed or went missing vs %s", regressions, path)
+	}
+	fmt.Printf("no regressions vs %s (%d entries compared)\n", path, len(fresh))
+	return nil
 }

@@ -73,26 +73,42 @@ func NewFixedSilence(n, t int, silent []sim.ProcID) (FixedSilence, error) {
 
 // PlanDelivery implements sim.WindowAdversary.
 func (a FixedSilence) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
-	silent := make(map[sim.ProcID]bool, len(a.Silent))
-	for _, p := range a.Silent {
-		silent[p] = true
-	}
-	var senders []sim.ProcID
-	for i := 0; i < s.N(); i++ {
-		if !silent[sim.ProcID(i)] {
+	n := s.N()
+	senders := make([]sim.ProcID, 0, n)
+	for i := 0; i < n; i++ {
+		if !a.silenced(sim.ProcID(i)) {
 			senders = append(senders, sim.ProcID(i))
 		}
 	}
-	return sim.UniformWindow(s.N(), senders, nil)
+	return sim.UniformWindow(n, senders, nil)
+}
+
+// silenced reports whether p is in the silent set (linear scan: the set has
+// at most t members, and t is small everywhere this adversary runs).
+func (a FixedSilence) silenced(p sim.ProcID) bool {
+	for _, q := range a.Silent {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 // RandomWindows is a chaos adversary: each window it delivers from an
 // independent random (n-t)-subset to each receiver and resets a random
 // subset of up to t processors with probability ResetProb each window.
+//
+// Planning reuses per-instance scratch (the sender rows, subset draws, and
+// reset list), so the returned Window is valid only until the next
+// PlanDelivery call; the System consumes it before then.
 type RandomWindows struct {
 	rng       *rng.Source
 	resetProb float64
 	maxResets int
+
+	idx    []int // index scratch for allocation-free subset draws
+	rows   [][]sim.ProcID
+	resets []sim.ProcID
 }
 
 var _ sim.WindowAdversary = (*RandomWindows)(nil)
@@ -104,31 +120,45 @@ func NewRandomWindows(seed uint64, resetProb float64, maxResets int) *RandomWind
 	return &RandomWindows{rng: rng.New(seed), resetProb: resetProb, maxResets: maxResets}
 }
 
+// RecycleTrial rewinds the adversary's random stream to the state a fresh
+// NewRandomWindows(seed, ...) construction would carry, keeping the scratch;
+// resetProb and maxResets persist (they are a function of the cell).
+func (a *RandomWindows) RecycleTrial(seed uint64) {
+	a.rng.Reseed(seed)
+}
+
 // PlanDelivery implements sim.WindowAdversary.
 func (a *RandomWindows) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
 	n, t := s.N(), s.T()
-	w := sim.Window{Senders: make([][]sim.ProcID, n)}
-	for i := range w.Senders {
+	if cap(a.rows) < n {
+		a.rows = make([][]sim.ProcID, n)
+		a.idx = make([]int, n)
+	}
+	a.rows = a.rows[:n]
+	for i := range a.rows {
 		if t == 0 {
-			continue // nil = all senders
+			a.rows[i] = nil // nil = all senders
+			continue
 		}
 		k := n - a.rng.Intn(t+1) // |S_i| uniform in [n-t, n]
-		set := a.rng.Subset(n, k)
-		ids := make([]sim.ProcID, len(set))
-		for j, v := range set {
-			ids[j] = sim.ProcID(v)
+		set := a.rows[i][:0]
+		for _, v := range a.rng.SubsetInto(a.idx[:n], k) {
+			set = append(set, sim.ProcID(v))
 		}
-		w.Senders[i] = ids
+		a.rows[i] = set
 	}
+	w := sim.Window{Senders: a.rows}
 	budget := a.maxResets
 	if budget > t {
 		budget = t
 	}
+	a.resets = a.resets[:0]
 	if budget > 0 && a.rng.Float64() < a.resetProb {
 		k := 1 + a.rng.Intn(budget)
-		for _, v := range a.rng.Subset(n, k) {
-			w.Resets = append(w.Resets, sim.ProcID(v))
+		for _, v := range a.rng.SubsetInto(a.idx[:n], k) {
+			a.resets = append(a.resets, sim.ProcID(v))
 		}
+		w.Resets = a.resets
 	}
 	return w
 }
@@ -139,10 +169,11 @@ func (a *RandomWindows) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window 
 // resets within the window constraint.
 //
 // ResetStorm carries mutable rotation state: construct a fresh one per
-// trial (NewResetStorm) and never share an instance across concurrent
-// executions.
+// trial (NewResetStorm, or RecycleTrial a pooled one) and never share an
+// instance across concurrent executions.
 type ResetStorm struct {
-	next int
+	next   int
+	resets []sim.ProcID // reusable scratch; valid until the next PlanDelivery
 }
 
 var _ sim.WindowAdversary = (*ResetStorm)(nil)
@@ -151,15 +182,20 @@ var _ sim.WindowAdversary = (*ResetStorm)(nil)
 // cursor at zero.
 func NewResetStorm() *ResetStorm { return &ResetStorm{} }
 
+// RecycleTrial rewinds the rotation cursor to zero, the fresh-construction
+// state.
+func (a *ResetStorm) RecycleTrial() { a.next = 0 }
+
 // PlanDelivery implements sim.WindowAdversary.
 func (a *ResetStorm) PlanDelivery(s *sim.System, _ []sim.Message) sim.Window {
 	n, t := s.N(), s.T()
-	w := sim.Window{Senders: make([][]sim.ProcID, n)}
+	a.resets = a.resets[:0]
 	for k := 0; k < t; k++ {
-		w.Resets = append(w.Resets, sim.ProcID((a.next+k)%n))
+		a.resets = append(a.resets, sim.ProcID((a.next+k)%n))
 	}
 	a.next = (a.next + t) % n
-	return w
+	// Nil Senders means full delivery — the storm's strategy is resets only.
+	return sim.Window{Resets: a.resets}
 }
 
 // TargetDecided resets (up to its budget) the processors that look closest

@@ -1,8 +1,6 @@
 package adversary
 
 import (
-	"sort"
-
 	"asyncagree/internal/sim"
 )
 
@@ -36,6 +34,12 @@ type VoteInfo struct {
 // O(n^{1/2+eps}) deviation remark), the beaten event has exponentially small
 // probability per window for t = cn, which is exactly the mechanism behind
 // the exponential expected running time reproduced by experiment E2.
+//
+// Planning is allocation-free in steady state: the per-sender vote tallies,
+// exclusion marks, and the shared sender set all live in scratch reused
+// across windows. The returned Window is valid only until the next
+// PlanDelivery call, matching the sim.WindowAdversary usage (the System
+// consumes it before the next window).
 type SplitVote struct {
 	// Classify extracts the balanced bit from a message (algorithm-specific;
 	// core.ClassifyVote and benor.ClassifyVote are the stock extractors).
@@ -49,51 +53,74 @@ type SplitVote struct {
 	GaveUp int
 	// Windows counts planned windows.
 	Windows int
+
+	// Reusable planning scratch: votes[q] is sender q's classified bit this
+	// window (-1 = none), excluded marks the senders hidden this window, and
+	// every rows entry aliases set (all receivers see the same sender set).
+	votes    []int8
+	excluded []bool
+	set      []sim.ProcID
+	rows     [][]sim.ProcID
 }
 
 var _ sim.WindowAdversary = (*SplitVote)(nil)
 
 // NewSplitVote returns a fresh split-vote adversary. SplitVote carries
-// mutable counters (GaveUp, Windows): construct one per trial and never
-// share an instance across concurrent executions.
+// mutable counters and scratch: construct one per trial (or RecycleTrial a
+// pooled one) and never share an instance across concurrent executions.
 func NewSplitVote(classify func(sim.Message) VoteInfo, cap int) *SplitVote {
 	return &SplitVote{Classify: classify, Cap: cap}
+}
+
+// RecycleTrial rewinds the adversary's per-execution counters so a pooled
+// instance starts the next trial exactly as a fresh one would. Classify and
+// Cap persist (they are a function of the cell, not the trial).
+func (a *SplitVote) RecycleTrial() {
+	a.GaveUp = 0
+	a.Windows = 0
 }
 
 // PlanDelivery implements sim.WindowAdversary.
 func (a *SplitVote) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
 	a.Windows++
 	n, t := s.N(), s.T()
+	if cap(a.votes) < n {
+		a.votes = make([]int8, n)
+		a.excluded = make([]bool, n)
+		a.set = make([]sim.ProcID, 0, n)
+		a.rows = make([][]sim.ProcID, n)
+	}
+	a.votes = a.votes[:n]
+	a.excluded = a.excluded[:n]
+	a.rows = a.rows[:n]
+	for i := 0; i < n; i++ {
+		a.votes[i] = -1
+		a.excluded[i] = false
+	}
 
 	// A sender's vote this window is the classified value of its messages
 	// (all copies of a broadcast carry the same payload; the first
 	// value-bearing message wins).
-	votesBy := make(map[sim.ProcID]sim.Bit, n)
 	for _, m := range batch {
-		if _, seen := votesBy[m.From]; seen {
+		if m.From < 0 || int(m.From) >= n || a.votes[m.From] >= 0 {
 			continue
 		}
-		info := a.Classify(m)
-		if info.HasValue {
-			votesBy[m.From] = info.Value
+		if info := a.Classify(m); info.HasValue {
+			a.votes[m.From] = int8(info.Value)
 		}
 	}
-	var zeros, ones []sim.ProcID
-	for p, v := range votesBy {
-		if v == 0 {
-			zeros = append(zeros, p)
-		} else {
-			ones = append(ones, p)
+	var count [2]int
+	for p := 0; p < n; p++ {
+		if v := a.votes[p]; v >= 0 {
+			count[v]++
 		}
 	}
-	sort.Slice(zeros, func(i, j int) bool { return zeros[i] < zeros[j] })
-	sort.Slice(ones, func(i, j int) bool { return ones[i] < ones[j] })
 
-	e0 := len(zeros) - a.Cap
+	e0 := count[0] - a.Cap
 	if e0 < 0 {
 		e0 = 0
 	}
-	e1 := len(ones) - a.Cap
+	e1 := count[1] - a.Cap
 	if e1 < 0 {
 		e1 = 0
 	}
@@ -101,21 +128,31 @@ func (a *SplitVote) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window 
 		// Beaten this window: the split is too lopsided to hide within the
 		// fault budget. Deliver everything.
 		a.GaveUp++
-		return sim.Window{Senders: make([][]sim.ProcID, n)}
+		return sim.Window{}
 	}
 
-	excluded := make(map[sim.ProcID]bool, e0+e1)
-	for _, p := range zeros[:e0] {
-		excluded[p] = true
-	}
-	for _, p := range ones[:e1] {
-		excluded[p] = true
-	}
-	senders := make([]sim.ProcID, 0, n-len(excluded))
-	for i := 0; i < n; i++ {
-		if !excluded[sim.ProcID(i)] {
-			senders = append(senders, sim.ProcID(i))
+	// Exclude the lowest-ID e0 zero-voters and e1 one-voters (the same
+	// choice the sorted-slice implementation made), then show every receiver
+	// the remaining senders.
+	for p := 0; p < n && (e0 > 0 || e1 > 0); p++ {
+		switch {
+		case a.votes[p] == 0 && e0 > 0:
+			a.excluded[p] = true
+			e0--
+		case a.votes[p] == 1 && e1 > 0:
+			a.excluded[p] = true
+			e1--
 		}
 	}
-	return sim.UniformWindow(n, senders, nil)
+	set := a.set[:0]
+	for p := 0; p < n; p++ {
+		if !a.excluded[p] {
+			set = append(set, sim.ProcID(p))
+		}
+	}
+	a.set = set
+	for i := range a.rows {
+		a.rows[i] = set
+	}
+	return sim.Window{Senders: a.rows}
 }

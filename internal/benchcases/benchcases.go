@@ -5,6 +5,7 @@
 package benchcases
 
 import (
+	"strconv"
 	"testing"
 
 	"asyncagree/internal/adversary"
@@ -12,6 +13,12 @@ import (
 	"asyncagree/internal/registry"
 	"asyncagree/internal/sim"
 )
+
+// SizeLabel renders the "n=<n>" sub-benchmark label. It is the one shared
+// helper for sizing benchmark names, used by both the root bench_test.go
+// and cmd/bench so recorded baseline entries and `go test -bench` output
+// name identical cases.
+func SizeLabel(n int) string { return "n=" + strconv.Itoa(n) }
 
 // WindowThroughput measures acceptable windows per second for the core
 // algorithm under full delivery (the simulator's hot loop) at size n with
@@ -76,6 +83,54 @@ func SweepThroughput() func(b *testing.B) {
 			}
 			if len(sweep.Cells) != 4 || sweep.SafetyViolations() != 0 {
 				b.Fatalf("unexpected sweep shape: %+v", sweep.Cells)
+			}
+		}
+	}
+}
+
+// BrachaWindow measures acceptable windows of the RBC-based Bracha protocol
+// at size n with t = (n-1)/3 and split inputs — about an order of magnitude
+// more traffic per window than the core algorithm, the heaviest per-window
+// protocol in the inventory.
+func BrachaWindow(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		t := (n - 1) / 3
+		s, err := registry.NewSystem("bracha", registry.Params{
+			N: n, T: t, Inputs: registry.SplitInputs(n), Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := adversary.FullDelivery{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.ApplyWindowWith(adv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// PaxosDecision measures full solo-proposer Paxos decisions (construction
+// plus a lockstep step-mode run to quorum) at size n with t = (n-1)/2.
+func PaxosDecision(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		t := (n - 1) / 2
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := registry.NewSystem("paxos", registry.Params{
+				N: n, T: t, Inputs: registry.SplitInputs(n), Seed: uint64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.RunSteps(adversary.NewLockstep(), 100000); err != nil {
+				b.Fatal(err)
+			}
+			if s.DecidedCount() == 0 {
+				b.Fatal("no decision")
 			}
 		}
 	}

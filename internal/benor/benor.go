@@ -57,9 +57,19 @@ type Msg struct {
 // ExtractVote exposes report contents to algorithm-agnostic adversaries: it
 // returns the carried bit of a valued message and ok=false for '?' proposals
 // or foreign payloads. Reports and valued proposals are both bit-bearing.
+// It accepts both the pooled *Msg boxes the protocol sends and plain Msg
+// values (hand-built messages in tests and external drivers).
 func ExtractVote(m sim.Message) (round int, phase Phase, value sim.Bit, ok bool) {
-	p, isMsg := m.Payload.(Msg)
-	if !isMsg || !p.Valued {
+	var p Msg
+	switch pl := m.Payload.(type) {
+	case *Msg:
+		p = *pl
+	case Msg:
+		p = pl
+	default:
+		return 0, 0, 0, false
+	}
+	if !p.Valued {
 		return 0, 0, 0, false
 	}
 	return p.R, p.P, p.V, true
@@ -78,11 +88,63 @@ type Proc struct {
 	phase Phase
 	x     sim.Bit
 
-	// got[r][p][q] records the message from q for (round r, phase p).
-	got map[int]map[Phase]map[sim.ProcID]Msg
+	// got[r] tallies round r's reports and proposals in flat per-sender
+	// arrays. Tallies are recycled through pool, so the steady-state round
+	// loop performs no per-round allocation (the seed implementation built
+	// three nested maps per round).
+	got  map[int]*roundTally
+	pool []*roundTally
 
 	resetCounter int
 	outbox       []sim.Message
+
+	// msgPool recycles the heap-boxed *Msg payloads of past broadcasts; the
+	// System hands a completed window's batch payloads back through
+	// ReclaimPayload (window mode only — in step mode the pool stays empty
+	// and every broadcast boxes a fresh Msg).
+	msgPool []*Msg
+}
+
+// quesMark marks a '?' (unvalued) proposal in a roundTally props slot.
+const quesMark = 2
+
+// roundTally records one round's first message per (phase, sender):
+// reports[q]/props[q] hold the carried bit (-1 = none; props may hold
+// quesMark for a '?' proposal), nReports/nProps count the distinct senders
+// recorded, and repCount/propCount the per-value totals the phase thresholds
+// are checked against (proposal counts tally valued proposals only).
+type roundTally struct {
+	reports, props      []int8
+	nReports, nProps    int
+	repCount, propCount [2]int
+}
+
+func (rt *roundTally) clear() {
+	for i := range rt.reports {
+		rt.reports[i] = -1
+		rt.props[i] = -1
+	}
+	rt.nReports, rt.nProps = 0, 0
+	rt.repCount = [2]int{}
+	rt.propCount = [2]int{}
+}
+
+// takeRound fetches a cleared tally from the pool (or allocates one).
+func (p *Proc) takeRound() *roundTally {
+	if n := len(p.pool); n > 0 {
+		rt := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		return rt
+	}
+	rt := &roundTally{reports: make([]int8, p.n), props: make([]int8, p.n)}
+	rt.clear()
+	return rt
+}
+
+// releaseRound clears a tally and returns it to the pool.
+func (p *Proc) releaseRound(rt *roundTally) {
+	rt.clear()
+	p.pool = append(p.pool, rt)
 }
 
 var _ sim.Process = (*Proc)(nil)
@@ -100,7 +162,7 @@ func New(id sim.ProcID, n, t int, input sim.Bit) (*Proc, error) {
 		round: 1,
 		phase: PhaseReport,
 		x:     input,
-		got:   make(map[int]map[Phase]map[sim.ProcID]Msg),
+		got:   make(map[int]*roundTally),
 	}
 	p.queueBroadcast(Msg{R: 1, P: PhaseReport, V: input, Valued: true})
 	return p, nil
@@ -135,23 +197,70 @@ func (p *Proc) Round() (int, Phase) { return p.round, p.phase }
 // Value returns the current estimate x.
 func (p *Proc) Value() sim.Bit { return p.x }
 
+// queueBroadcast queues m to all n processors. All n copies share one
+// pooled *Msg box (the seed implementation boxed the payload once per copy,
+// the sweep engine's single largest allocation source).
 func (p *Proc) queueBroadcast(m Msg) {
+	box := p.takeMsg()
+	*box = m
+	var payload any = box
 	for q := 0; q < p.n; q++ {
-		p.outbox = append(p.outbox, sim.Message{From: p.id, To: sim.ProcID(q), Payload: m})
+		p.outbox = append(p.outbox, sim.Message{From: p.id, To: sim.ProcID(q), Payload: payload})
 	}
 }
 
-// Send implements sim.Process.
+// takeMsg fetches a payload box from the pool (or allocates one).
+func (p *Proc) takeMsg() *Msg {
+	if n := len(p.msgPool); n > 0 {
+		m := p.msgPool[n-1]
+		p.msgPool = p.msgPool[:n-1]
+		return m
+	}
+	return new(Msg)
+}
+
+// ReclaimPayload implements sim.PayloadReclaimer: the System returns the
+// payload boxes of a completed window's batch, one call per box.
+func (p *Proc) ReclaimPayload(payload any) {
+	if m, ok := payload.(*Msg); ok {
+		p.msgPool = append(p.msgPool, m)
+	}
+}
+
+// reclaimOutbox returns the payload boxes of queued-but-unsent messages to
+// the pool and truncates the outbox. Those boxes were never exposed outside
+// the processor, so reclaiming them immediately is safe.
+func (p *Proc) reclaimOutbox() {
+	var last any
+	for i := range p.outbox {
+		if pl := p.outbox[i].Payload; pl != last {
+			last = pl
+			if m, ok := pl.(*Msg); ok {
+				p.msgPool = append(p.msgPool, m)
+			}
+		}
+	}
+	p.outbox = p.outbox[:0]
+}
+
+// Send implements sim.Process. The returned slice is valid only until the
+// next Deliver/Reset (the outbox capacity is recycled), per the sim.Process
+// contract.
 func (p *Proc) Send() []sim.Message {
 	out := p.outbox
-	p.outbox = nil
+	p.outbox = p.outbox[:0]
 	return out
 }
 
 // Deliver implements sim.Process.
 func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
-	msg, ok := m.Payload.(Msg)
-	if !ok {
+	var msg Msg
+	switch pl := m.Payload.(type) {
+	case *Msg:
+		msg = *pl
+	case Msg:
+		msg = pl
+	default:
 		return
 	}
 	if msg.R < p.round || (msg.R == p.round && msg.P < p.phase) {
@@ -160,45 +269,62 @@ func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
 	if msg.P != PhaseReport && msg.P != PhaseProposal {
 		return
 	}
-	byPhase := p.got[msg.R]
-	if byPhase == nil {
-		byPhase = make(map[Phase]map[sim.ProcID]Msg, 2)
-		p.got[msg.R] = byPhase
+	if m.From < 0 || int(m.From) >= p.n {
+		return // unauthenticated sender; cannot occur through sim
 	}
-	bySender := byPhase[msg.P]
-	if bySender == nil {
-		bySender = make(map[sim.ProcID]Msg, p.n)
-		byPhase[msg.P] = bySender
+	tally := p.got[msg.R]
+	if tally == nil {
+		tally = p.takeRound()
+		p.got[msg.R] = tally
 	}
-	if _, dup := bySender[m.From]; dup {
-		return
+	if msg.P == PhaseReport {
+		if tally.reports[m.From] >= 0 {
+			return // at most one report per (sender, round)
+		}
+		// Reports carry V unconditionally (Valued is set by honest senders;
+		// an unvalued report still tallies its V field, as before).
+		tally.reports[m.From] = int8(msg.V)
+		tally.nReports++
+		tally.repCount[msg.V]++
+	} else {
+		if tally.props[m.From] >= 0 {
+			return // at most one proposal per (sender, round)
+		}
+		if msg.Valued {
+			tally.props[m.From] = int8(msg.V)
+			tally.propCount[msg.V]++
+		} else {
+			tally.props[m.From] = quesMark
+		}
+		tally.nProps++
 	}
-	bySender[m.From] = msg
 
 	// The wait threshold is n-t messages for the current (round, phase);
 	// completing one phase may unlock the next from buffered messages.
 	for {
-		cur := p.got[p.round][p.phase]
-		if len(cur) < p.n-p.t {
+		cur := p.got[p.round]
+		if cur == nil {
 			return
 		}
 		if p.phase == PhaseReport {
+			if cur.nReports < p.n-p.t {
+				return
+			}
 			p.evalReport(cur)
 		} else {
+			if cur.nProps < p.n-p.t {
+				return
+			}
 			p.evalProposal(cur, r)
 		}
 	}
 }
 
 // evalReport executes the end of phase 1.
-func (p *Proc) evalReport(reports map[sim.ProcID]Msg) {
-	var count [2]int
-	for _, m := range reports {
-		count[m.V]++
-	}
+func (p *Proc) evalReport(tally *roundTally) {
 	prop := Msg{R: p.round, P: PhaseProposal}
 	for v := sim.Bit(0); v <= 1; v++ {
-		if 2*count[v] > p.n {
+		if 2*tally.repCount[v] > p.n {
 			prop.V, prop.Valued = v, true
 		}
 	}
@@ -207,13 +333,8 @@ func (p *Proc) evalReport(reports map[sim.ProcID]Msg) {
 }
 
 // evalProposal executes the end of phase 2.
-func (p *Proc) evalProposal(proposals map[sim.ProcID]Msg, r sim.RandSource) {
-	var count [2]int
-	for _, m := range proposals {
-		if m.Valued {
-			count[m.V]++
-		}
-	}
+func (p *Proc) evalProposal(tally *roundTally, r sim.RandSource) {
+	count := tally.propCount
 	switch {
 	case count[0] > 0 && count[1] > 0:
 		// Impossible under the protocol (two majorities would intersect);
@@ -236,10 +357,47 @@ func (p *Proc) evalProposal(proposals map[sim.ProcID]Msg, r sim.RandSource) {
 	default:
 		p.x = sim.Bit(r.Bit())
 	}
+	p.releaseRound(tally)
 	delete(p.got, p.round)
 	p.round++
 	p.phase = PhaseReport
+	p.dropStale()
 	p.queueBroadcast(Msg{R: p.round, P: PhaseReport, V: p.x, Valued: true})
+}
+
+// dropStale releases buffered tallies for rounds below the current one
+// (rounds skipped over can otherwise linger forever).
+func (p *Proc) dropStale() {
+	for r, rt := range p.got {
+		if r < p.round {
+			p.releaseRound(rt)
+			delete(p.got, r)
+		}
+	}
+}
+
+// releaseAllRounds returns every buffered tally to the pool.
+func (p *Proc) releaseAllRounds() {
+	for r, rt := range p.got {
+		p.releaseRound(rt)
+		delete(p.got, r)
+	}
+}
+
+// Recycle implements sim.Recycler: it rewinds the processor to the state
+// New would produce for the given input, keeping the pooled tallies, payload
+// boxes, outbox capacity, and round map so a recycled trial allocates
+// nothing here.
+func (p *Proc) Recycle(input sim.Bit) {
+	p.input = input
+	p.out, p.decided = 0, false
+	p.round = 1
+	p.phase = PhaseReport
+	p.x = input
+	p.releaseAllRounds()
+	p.resetCounter = 0
+	p.reclaimOutbox()
+	p.queueBroadcast(Msg{R: 1, P: PhaseReport, V: input, Valued: true})
 }
 
 // Reset implements sim.Process. Ben-Or is NOT designed for resetting
@@ -251,8 +409,8 @@ func (p *Proc) Reset() {
 	p.round = 1
 	p.phase = PhaseReport
 	p.x = p.input
-	p.got = make(map[int]map[Phase]map[sim.ProcID]Msg)
-	p.outbox = nil
+	p.releaseAllRounds()
+	p.reclaimOutbox()
 	p.queueBroadcast(Msg{R: 1, P: PhaseReport, V: p.x, Valued: true})
 }
 

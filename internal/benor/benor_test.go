@@ -181,11 +181,19 @@ func TestProposalConflictImpossibleUnderHonesty(t *testing.T) {
 	// Observe all proposals: per round at most one value may be proposed.
 	s := newSystem(t, 9, 2, split(9), 8)
 	valued := map[int]map[sim.Bit]bool{}
+	observed := 0
 	s.OnEvent = func(ev sim.Event) {
 		if ev.Kind != sim.EvSend {
 			return
 		}
-		if msg, ok := ev.Msg.Payload.(Msg); ok && msg.P == PhaseProposal && msg.Valued {
+		// The protocol sends pooled *Msg boxes; read them at emit time,
+		// while the box is still live.
+		msg, ok := ev.Msg.Payload.(*Msg)
+		if !ok {
+			return
+		}
+		observed++
+		if msg.P == PhaseProposal && msg.Valued {
 			if valued[msg.R] == nil {
 				valued[msg.R] = map[sim.Bit]bool{}
 			}
@@ -194,6 +202,9 @@ func TestProposalConflictImpossibleUnderHonesty(t *testing.T) {
 	}
 	if _, err := s.RunWindows(adversary.NewRandomWindows(5, 0, 0), 2000); err != nil {
 		t.Fatal(err)
+	}
+	if observed == 0 || len(valued) == 0 {
+		t.Fatal("observed no proposal traffic; payload decoding is broken")
 	}
 	for r, vals := range valued {
 		if vals[0] && vals[1] {

@@ -267,11 +267,26 @@ func (a *Agreement) InstanceCount() int { return a.engine.InstanceCount() }
 
 // Reset erases all protocol state and restarts from round 1.
 func (a *Agreement) Reset() {
+	a.rewind(a.input)
+}
+
+// Recycle rewinds the instance to the state NewAgreement + Start would
+// produce for the given input, keeping the accumulator map, RBC engine
+// structures, and outbox capacity (trial recycling).
+func (a *Agreement) Recycle(input sim.Bit) {
+	a.input = input
+	a.out = 0
+	a.rewind(input)
+}
+
+// rewind restarts the protocol from round 1 with estimate x, reusing
+// allocated structures (shared by Reset and Recycle).
+func (a *Agreement) rewind(x sim.Bit) {
 	a.round, a.step = 1, 1
-	a.x = a.input
+	a.x = x
 	a.mark = false
 	a.decided = false
-	a.acc = make(map[int]map[int]map[sim.ProcID]Val)
+	clear(a.acc)
 	a.engine.Reset()
 	a.broadcastStep()
 }

@@ -124,6 +124,16 @@ func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
 	}
 }
 
+// Recycle implements sim.Recycler: it rewinds the processor (and its
+// embedded agreement + RBC engine) to the state New would produce for the
+// given input, reusing their allocated structures.
+func (p *Proc) Recycle(input sim.Bit) {
+	p.input = input
+	p.out, p.decided = 0, false
+	p.resetCounter = 0
+	p.ag.Recycle(input)
+}
+
 // Reset implements sim.Process. Bracha is not reset-tolerant; like Ben-Or it
 // restarts from round 1 (used only to demonstrate the contrast with the core
 // algorithm). The written output bit survives, per the model.

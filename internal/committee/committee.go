@@ -255,10 +255,11 @@ func (p *Proc) Level() int { return p.level }
 // (adaptive adversaries in experiments use this with full information).
 func (p *Proc) FinalCommittee() []sim.ProcID { return p.finalSet }
 
-// Send implements sim.Process.
+// Send implements sim.Process. The returned slice is valid only until the
+// next Deliver/Reset, per the sim.Process contract.
 func (p *Proc) Send() []sim.Message {
 	out := p.outbox
-	p.outbox = nil
+	p.outbox = p.outbox[:0]
 	if p.run != nil {
 		for _, ag := range p.run.bits {
 			out = append(out, ag.Flush()...)
@@ -505,6 +506,32 @@ func (p *Proc) evaluateDecide() {
 			p.out, p.decided = v, true
 			return
 		}
+	}
+}
+
+// Recycle implements sim.Recycler: it rewinds the processor to the state
+// New would produce for the given input, reusing the top-level vote maps,
+// survivor list, and outbox capacity. The per-level Bracha agreements are
+// constructed lazily during the run either way, so a recycled trial's
+// steady-state cost matches a fresh one with warm maps.
+func (p *Proc) Recycle(input sim.Bit) {
+	p.input = input
+	p.out, p.decided = 0, false
+	p.started = false
+	p.level = 0
+	p.survivors = p.survivors[:0]
+	for i := 0; i < p.params.N; i++ {
+		p.survivors = append(p.survivors, sim.ProcID(i))
+	}
+	p.run = nil
+	clear(p.seedVotes)
+	clear(p.acceptedSeed)
+	p.final = nil
+	p.finalSet = nil
+	clear(p.decideVotes)
+	p.outbox = p.outbox[:0]
+	for q := 0; q < p.params.N; q++ {
+		p.outbox = append(p.outbox, sim.Message{From: p.id, To: sim.ProcID(q), Payload: helloMsg{}})
 	}
 }
 

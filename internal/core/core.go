@@ -81,13 +81,17 @@ type Vote struct {
 }
 
 // ExtractVote exposes the round/value content of a core message to
-// algorithm-agnostic adversaries (notably the split-vote adversary).
+// algorithm-agnostic adversaries (notably the split-vote adversary). It
+// accepts both the pooled *Vote boxes the protocol sends and plain Vote
+// values (hand-built messages in tests and external drivers).
 func ExtractVote(m sim.Message) (round int, value sim.Bit, ok bool) {
-	v, isVote := m.Payload.(Vote)
-	if !isVote {
-		return 0, 0, false
+	switch v := m.Payload.(type) {
+	case *Vote:
+		return v.R, v.X, true
+	case Vote:
+		return v.R, v.X, true
 	}
-	return v.R, v.X, true
+	return 0, 0, false
 }
 
 // Proc is one processor running the Section 3 algorithm. It implements
@@ -121,6 +125,13 @@ type Proc struct {
 	resetCounter int
 
 	outbox []sim.Message
+
+	// votePool recycles the heap-boxed *Vote payloads of past broadcasts.
+	// The System hands a window's batch payloads back through ReclaimPayload
+	// once the window completes (window mode only; in step mode the pool
+	// simply stays empty and every broadcast boxes a fresh Vote), so the
+	// steady-state window loop allocates no vote boxes.
+	votePool []*Vote
 }
 
 // roundVotes tallies one round's votes: votes[q] is the bit received from
@@ -217,16 +228,38 @@ func (p *Proc) Value() sim.Bit { return p.x }
 func (p *Proc) Resets() int { return p.resetCounter }
 
 // queueBroadcast queues (round, x) to all n processors. All n copies share
-// one boxed Vote payload: boxing per copy was the single largest allocation
-// source in the window hot loop.
+// one pooled *Vote box: boxing per copy was the single largest allocation
+// source in the window hot loop, and pooling the shared box (reclaimed by
+// the System when the box's window completes) removes even the one
+// per-broadcast allocation.
 func (p *Proc) queueBroadcast() {
-	var payload any = Vote{R: p.round, X: p.x}
+	box := p.takeVote()
+	box.R, box.X = p.round, p.x
+	var payload any = box
 	for q := 0; q < p.n; q++ {
 		p.outbox = append(p.outbox, sim.Message{
 			From:    p.id,
 			To:      sim.ProcID(q),
 			Payload: payload,
 		})
+	}
+}
+
+// takeVote fetches a payload box from the pool (or allocates one).
+func (p *Proc) takeVote() *Vote {
+	if n := len(p.votePool); n > 0 {
+		v := p.votePool[n-1]
+		p.votePool = p.votePool[:n-1]
+		return v
+	}
+	return new(Vote)
+}
+
+// ReclaimPayload implements sim.PayloadReclaimer: the System returns the
+// payload boxes of a completed window's batch, one call per box.
+func (p *Proc) ReclaimPayload(payload any) {
+	if v, ok := payload.(*Vote); ok {
+		p.votePool = append(p.votePool, v)
 	}
 }
 
@@ -244,8 +277,13 @@ func (p *Proc) Send() []sim.Message {
 
 // Deliver implements sim.Process.
 func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
-	v, ok := m.Payload.(Vote)
-	if !ok {
+	var v Vote
+	switch pl := m.Payload.(type) {
+	case *Vote:
+		v = *pl
+	case Vote:
+		v = pl
+	default:
 		return // foreign or corrupted payload: ignore
 	}
 	if !p.syncing && v.R < p.round {
@@ -325,6 +363,41 @@ func (p *Proc) dropStale() {
 	}
 }
 
+// Recycle implements sim.Recycler: it rewinds the processor to the state
+// New would produce for the given input, keeping the pooled round tallies,
+// vote boxes, outbox capacity, and round map so a recycled trial allocates
+// nothing here.
+func (p *Proc) Recycle(input sim.Bit) {
+	p.input = input
+	p.out, p.decided = 0, false
+	p.round = 1
+	p.syncing = false
+	p.x = input
+	for r, rv := range p.got {
+		p.releaseRound(rv)
+		delete(p.got, r)
+	}
+	p.resetCounter = 0
+	p.reclaimOutbox()
+	p.queueBroadcast()
+}
+
+// reclaimOutbox returns the payload boxes of queued-but-unsent messages to
+// the pool and truncates the outbox. Those boxes were never exposed outside
+// the processor, so reclaiming them immediately is safe.
+func (p *Proc) reclaimOutbox() {
+	var last any
+	for i := range p.outbox {
+		if pl := p.outbox[i].Payload; pl != last {
+			last = pl
+			if v, ok := pl.(*Vote); ok {
+				p.votePool = append(p.votePool, v)
+			}
+		}
+	}
+	p.outbox = p.outbox[:0]
+}
+
 // Reset implements sim.Process: it erases everything except the input bit,
 // output bit, identity, and the reset counter.
 func (p *Proc) Reset() {
@@ -336,7 +409,7 @@ func (p *Proc) Reset() {
 		p.releaseRound(rv)
 		delete(p.got, r)
 	}
-	p.outbox = p.outbox[:0]
+	p.reclaimOutbox()
 }
 
 // Snapshot implements sim.Process. The encoding is

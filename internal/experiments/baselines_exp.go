@@ -30,15 +30,7 @@ func runE8(scale Scale) (Result, error) {
 		t := n / 4
 		chains, err := RunTrials(trials, func(trial int) (int, error) {
 			p := registry.Params{N: n, T: t, Seed: uint64(trial + 1), Inputs: registry.SplitInputs(n)}
-			s, err := registry.NewSystem("benor", p)
-			if err != nil {
-				return 0, err
-			}
-			adv, err := registry.NewAdversary("splitvote", "benor", p)
-			if err != nil {
-				return 0, err
-			}
-			res, err := s.RunWindows(adv, maxW)
+			res, err := registry.RunPooledTrial("benor", "splitvote", "adversary", p, maxW)
 			if err != nil {
 				return 0, err
 			}

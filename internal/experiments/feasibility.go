@@ -34,15 +34,7 @@ func runE1(scale Scale) (Result, error) {
 			results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
 				seed := uint64(trial + 1)
 				p := registry.Params{N: n, T: t, Seed: seed, Inputs: patternInputs(n, seed)}
-				s, err := registry.NewSystem("core", p)
-				if err != nil {
-					return sim.RunResult{}, err
-				}
-				adv, err := registry.NewAdversary(advName, "core", p)
-				if err != nil {
-					return sim.RunResult{}, err
-				}
-				return s.RunWindows(adv, maxWindows)
+				return registry.RunPooledTrial("core", advName, "adversary", p, maxWindows)
 			})
 			if err != nil {
 				return Result{}, err
@@ -141,14 +133,11 @@ func runE9(scale Scale) (Result, error) {
 	for _, cfg := range configs {
 		for _, v := range []sim.Bit{0, 1} {
 			results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
-				s, err := registry.NewSystem(cfg.name, registry.Params{
+				p := registry.Params{
 					N: cfg.n, T: cfg.t, Seed: uint64(trial + 1),
 					Inputs: registry.UnanimousInputs(cfg.n, v),
-				})
-				if err != nil {
-					return sim.RunResult{}, err
 				}
-				return s.RunWindows(adversary.FullDelivery{}, cfg.maxW)
+				return registry.RunPooledTrial(cfg.name, "full", "adversary", p, cfg.maxW)
 			})
 			if err != nil {
 				return Result{}, err

@@ -59,15 +59,7 @@ func runE14(scale Scale) (Result, error) {
 						return sim.RunResult{}, err
 					}
 					p := registry.Params{N: cfg.n, T: cfg.t, Seed: seed, Inputs: inputs}
-					s, err := registry.NewSystem(cfg.name, p)
-					if err != nil {
-						return sim.RunResult{}, err
-					}
-					adv, err := registry.NewScheduledAdversary("full", sched, cfg.name, p)
-					if err != nil {
-						return sim.RunResult{}, err
-					}
-					return s.RunWindows(adv, maxW)
+					return registry.RunPooledTrial(cfg.name, "full", sched, p, maxW)
 				})
 				if err != nil {
 					return Result{}, err

@@ -153,12 +153,19 @@ func (p *Proc) Ballot() int {
 
 func (p *Proc) quorum() int { return p.n/2 + 1 }
 
-// startRound begins phase 1 with ballot round*n + id.
+// startRound begins phase 1 with ballot round*n + id. The per-round quorum
+// maps are cleared in place rather than reallocated, so dueling-proposer
+// retries (and recycled trials) reuse their buckets.
 func (p *Proc) startRound(round int) {
 	p.round = round
 	p.ballot = round*p.n + int(p.id)
-	p.promises = make(map[sim.ProcID]Promise, p.n)
-	p.accepts = make(map[sim.ProcID]bool, p.n)
+	if p.promises == nil {
+		p.promises = make(map[sim.ProcID]Promise, p.n)
+		p.accepts = make(map[sim.ProcID]bool, p.n)
+	} else {
+		clear(p.promises)
+		clear(p.accepts)
+	}
 	p.phase = 1
 	p.broadcast(Prepare{B: p.ballot})
 }
@@ -173,10 +180,12 @@ func (p *Proc) sendTo(q sim.ProcID, payload any) {
 	p.outbox = append(p.outbox, sim.Message{From: p.id, To: q, Payload: payload})
 }
 
-// Send implements sim.Process.
+// Send implements sim.Process. The returned slice is valid only until the
+// next Deliver/Reset (the outbox capacity is recycled), per the sim.Process
+// contract.
 func (p *Proc) Send() []sim.Message {
 	out := p.outbox
-	p.outbox = nil
+	p.outbox = p.outbox[:0]
 	return out
 }
 
@@ -271,6 +280,32 @@ func (p *Proc) onNack(msg Nack) {
 		nextRound = p.round + 1
 	}
 	p.startRound(nextRound)
+}
+
+// Recycle implements sim.Recycler: it rewinds the processor to the state
+// New would produce for the given input, keeping the quorum maps and outbox
+// capacity. The proposer role persists — a processor is only ever recycled
+// into a trial with the same proposer set.
+func (p *Proc) Recycle(input sim.Bit) {
+	p.input = input
+	p.out, p.decided = 0, false
+	p.promisedB = -1
+	p.acceptedB = -1
+	p.acceptedV = 0
+	p.hasAcc = false
+	p.round = 0
+	p.ballot = 0
+	if p.promises != nil {
+		clear(p.promises)
+		clear(p.accepts)
+	}
+	p.phase = 0
+	p.propV = 0
+	p.maxSeenB = -1
+	p.outbox = p.outbox[:0]
+	if p.proposer {
+		p.startRound(1)
+	}
 }
 
 // Reset implements sim.Process. Paxos acceptor state must be durable for

@@ -177,10 +177,12 @@ func (e *Engine) sendAll(m Msg) {
 }
 
 // Flush drains the outgoing message queue; the host's Send step forwards
-// these.
+// these. The returned slice is valid only until the next Handle/Broadcast
+// (the outbox capacity is recycled), matching the sim.Process Send contract
+// hosts forward it under.
 func (e *Engine) Flush() []sim.Message {
 	out := e.outbox
-	e.outbox = nil
+	e.outbox = e.outbox[:0]
 	return out
 }
 
@@ -246,10 +248,11 @@ func (e *Engine) Handle(m sim.Message) []Accepted {
 }
 
 // Reset erases all instance state (for hosts subjected to resetting
-// failures).
+// failures and for trial recycling). The instance map and outbox keep their
+// capacity.
 func (e *Engine) Reset() {
-	e.instances = make(map[Tag]*instance)
-	e.outbox = nil
+	clear(e.instances)
+	e.outbox = e.outbox[:0]
 }
 
 // InstanceCount returns the number of live broadcast instances (for memory

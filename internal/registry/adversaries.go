@@ -21,6 +21,10 @@ func init() {
 		New: func(_ *Algorithm, _ Params) (sim.WindowAdversary, error) {
 			return adversary.FullDelivery{}, nil
 		},
+		Recycle: func(adv sim.WindowAdversary, _ Params) bool {
+			_, ok := adv.(adversary.FullDelivery) // stateless
+			return ok
+		},
 	})
 
 	mustRegisterAdversary(Adversary{
@@ -33,6 +37,7 @@ func init() {
 		New: func(_ *Algorithm, p Params) (sim.WindowAdversary, error) {
 			return adversary.NewRandomWindows(p.Seed, 0, 0), nil
 		},
+		Recycle: recycleRandomWindows,
 	})
 
 	mustRegisterAdversary(Adversary{
@@ -46,6 +51,7 @@ func init() {
 		New: func(_ *Algorithm, p Params) (sim.WindowAdversary, error) {
 			return adversary.NewRandomWindows(p.Seed, 0.5, p.T), nil
 		},
+		Recycle: recycleRandomWindows,
 	})
 
 	mustRegisterAdversary(Adversary{
@@ -57,6 +63,13 @@ func init() {
 		},
 		New: func(_ *Algorithm, _ Params) (sim.WindowAdversary, error) {
 			return adversary.NewResetStorm(), nil
+		},
+		Recycle: func(adv sim.WindowAdversary, _ Params) bool {
+			a, ok := adv.(*adversary.ResetStorm)
+			if ok {
+				a.RecycleTrial()
+			}
+			return ok
 		},
 	})
 
@@ -73,6 +86,12 @@ func init() {
 				silent = append(silent, sim.ProcID(i))
 			}
 			return adversary.NewFixedSilence(p.N, p.T, silent)
+		},
+		Recycle: func(adv sim.WindowAdversary, _ Params) bool {
+			// The silent set is a function of the cell's (n, t), which the
+			// engine pool keys on, so a pooled instance is already correct.
+			_, ok := adv.(adversary.FixedSilence)
+			return ok
 		},
 	})
 
@@ -93,5 +112,23 @@ func init() {
 			}
 			return adversary.NewSplitVote(alg.ClassifyVote, cap), nil
 		},
+		Recycle: func(adv sim.WindowAdversary, _ Params) bool {
+			a, ok := adv.(*adversary.SplitVote)
+			if ok {
+				a.RecycleTrial()
+			}
+			return ok
+		},
 	})
+}
+
+// recycleRandomWindows rewinds pooled chaos-adversary state: reseeding the
+// stream reproduces a fresh NewRandomWindows construction (the reset
+// probability and budget are functions of the cell, which the pool keys on).
+func recycleRandomWindows(adv sim.WindowAdversary, p Params) bool {
+	a, ok := adv.(*adversary.RandomWindows)
+	if ok {
+		a.RecycleTrial(p.Seed)
+	}
+	return ok
 }

@@ -1,0 +1,220 @@
+package registry
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"asyncagree/internal/sched"
+	"asyncagree/internal/sim"
+)
+
+// This file implements the pooled trial engine: the steady-state execution
+// path of the sweep matrix and the experiment drivers. A trial is a fresh
+// execution of the same (algorithm, adversary, scheduler, n, t) scenario —
+// exactly the paper's notion of re-running the same n-processor
+// configuration — so instead of constructing a new sim.System, adversary,
+// and scheduler per trial, the engine keeps finished instances in a
+// per-scenario pool and rewinds them with the Recycle hooks (sim.System.
+// Recycle, sim.Recycler, Adversary.Recycle, Scheduler.Recycle). Recycling
+// restores the exact just-constructed state, so pooled trials are
+// byte-identical to fresh ones (property-tested in recycle_test.go); the
+// payoff is that steady-state trial execution allocates (near) nothing.
+
+// engineKey identifies one poolable scenario shape. Everything a pooled
+// instance bakes in at construction time must appear here: the three
+// registry names, the (n, t) shape, and the optional algorithm knobs
+// (thresholds, proposers) encoded canonically in extra.
+type engineKey struct {
+	alg, adv, sched string
+	n, t            int
+	extra           string
+}
+
+// extraKey canonically encodes the optional Params knobs that change what a
+// factory bakes into its processes. The common case (no knobs) is "" and
+// allocates nothing.
+func extraKey(p Params) string {
+	if p.CoreThresholds == nil && p.Proposers == nil {
+		return ""
+	}
+	var b strings.Builder
+	if th := p.CoreThresholds; th != nil {
+		b.WriteString("th=")
+		b.WriteString(strconv.Itoa(th.T1))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(th.T2))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(th.T3))
+	}
+	if p.Proposers != nil {
+		b.WriteString(";props=")
+		for i, q := range p.Proposers {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(int(q)))
+		}
+	}
+	return b.String()
+}
+
+// TrialEngine bundles the pooled per-trial state of one scenario: the
+// system, the adversary, the delivery scheduler, and their composition.
+// Acquire one with AcquireTrial, run the trial, and Release it; an engine
+// serves one trial at a time and must not be shared across goroutines.
+type TrialEngine struct {
+	key  engineKey
+	alg  *Algorithm
+	advD *Adversary
+	schD *Scheduler
+
+	sys  *sim.System
+	adv  sim.WindowAdversary
+	sch  sched.Scheduler
+	plan sim.WindowAdversary
+}
+
+// enginePools maps engineKey -> *sync.Pool of *TrialEngine. sync.Pool keeps
+// the retained memory bounded (idle engines are dropped across GC cycles)
+// while giving steady-state sweeps and benchmarks full reuse. A plain map
+// under RWMutex (rather than sync.Map) keeps the steady-state lookup free
+// of key boxing, so acquiring a pooled engine allocates nothing.
+var (
+	enginePoolMu sync.RWMutex
+	enginePools  = map[engineKey]*sync.Pool{}
+)
+
+func poolFor(key engineKey) *sync.Pool {
+	enginePoolMu.RLock()
+	p := enginePools[key]
+	enginePoolMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	enginePoolMu.Lock()
+	defer enginePoolMu.Unlock()
+	if p = enginePools[key]; p == nil {
+		p = &sync.Pool{}
+		enginePools[key] = p
+	}
+	return p
+}
+
+// AcquireTrial returns a trial engine for the named scenario, prepared for
+// one window-mode trial at p: a pooled instance rewound to just-constructed
+// state when one is available, a freshly constructed one otherwise. The two
+// are indistinguishable by execution (the recycled-equals-fresh contract).
+// Call Release when the trial is done.
+func AcquireTrial(algName, advName, schedName string, p Params) (*TrialEngine, error) {
+	key := engineKey{alg: algName, adv: advName, sched: schedName,
+		n: p.N, t: p.T, extra: extraKey(p)}
+	pool := poolFor(key)
+	if e, ok := pool.Get().(*TrialEngine); ok && e != nil {
+		if err := e.prepare(p); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return newTrialEngine(key, p)
+}
+
+// newTrialEngine constructs everything fresh (the pool-miss path).
+func newTrialEngine(key engineKey, p Params) (*TrialEngine, error) {
+	alg, err := LookupAlgorithm(key.alg)
+	if err != nil {
+		return nil, err
+	}
+	advD, err := LookupAdversary(key.adv)
+	if err != nil {
+		return nil, err
+	}
+	schD, err := LookupScheduler(key.sched)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(key.alg, p)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := advD.New(alg, p)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := schD.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &TrialEngine{
+		key: key, alg: alg, advD: advD, schD: schD,
+		sys: sys, adv: adv, sch: sch,
+		plan: sched.Compose(adv, sch),
+	}, nil
+}
+
+// prepare rewinds a pooled engine for a trial at p. The system recycles in
+// place; adversary and scheduler state recycles through the descriptor
+// hooks, falling back to fresh construction (and re-composition) when a
+// hook is missing or declines.
+func (e *TrialEngine) prepare(p Params) error {
+	if err := e.alg.Validate(p); err != nil {
+		return err
+	}
+	if err := e.sys.Recycle(p.Seed, p.Inputs); err != nil {
+		return err
+	}
+	recompose := false
+	if e.advD.Recycle == nil || !e.advD.Recycle(e.adv, p) {
+		adv, err := e.advD.New(e.alg, p)
+		if err != nil {
+			return err
+		}
+		e.adv = adv
+		recompose = true
+	}
+	if e.schD.Recycle == nil || !e.schD.Recycle(e.sch, p) {
+		sch, err := e.schD.New(p)
+		if err != nil {
+			return err
+		}
+		e.sch = sch
+		recompose = true
+	}
+	if recompose {
+		e.plan = sched.Compose(e.adv, e.sch)
+	}
+	return nil
+}
+
+// System exposes the engine's simulation for post-run inspection (decision
+// state, snapshots). Valid until Release.
+func (e *TrialEngine) System() *sim.System { return e.sys }
+
+// Plan returns the composed window adversary (the scheduler spliced over
+// the adversary) driving the engine's trials.
+func (e *TrialEngine) Plan() sim.WindowAdversary { return e.plan }
+
+// Run executes one window-mode trial to the budget.
+func (e *TrialEngine) Run(maxWindows int) (sim.RunResult, error) {
+	return e.sys.RunWindows(e.plan, maxWindows)
+}
+
+// Release returns the engine to its scenario pool for the next trial. The
+// caller must not touch the engine (or its System) afterwards. Releasing
+// after a failed run is fine: the next acquisition rewinds everything.
+func (e *TrialEngine) Release() {
+	poolFor(e.key).Put(e)
+}
+
+// RunPooledTrial acquires a pooled engine, runs one window-mode trial of
+// the named scenario at p, and releases the engine: the steady-state trial
+// path shared by the sweep matrix and the experiment drivers.
+func RunPooledTrial(algName, advName, schedName string, p Params, maxWindows int) (sim.RunResult, error) {
+	e, err := AcquireTrial(algName, advName, schedName, p)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	res, err := e.Run(maxWindows)
+	e.Release()
+	return res, err
+}

@@ -203,9 +203,23 @@ func (m Matrix) expand() (cells []Cell, trials []trialSpec, sweep *Sweep, err er
 	return cells, trials, sweep, nil
 }
 
-// runTrial executes one expanded trial: build a fresh system and fresh
-// adversary + scheduler state from the seed, run window mode to the budget.
+// runTrial executes one expanded trial through the pooled engine: acquire
+// (recycling a finished System + adversary + scheduler when the scenario
+// pool has one), run window mode to the budget, release. Pooled execution
+// is byte-identical to runTrialFresh (test-asserted).
 func runTrial(ts trialSpec) (sim.RunResult, error) {
+	inputs, err := Inputs(ts.Input, ts.Size.N, ts.seed)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed}
+	return RunPooledTrial(ts.Algorithm, ts.Adversary, ts.Scheduler, p, ts.maxWindows)
+}
+
+// runTrialFresh is the pre-pool path — build a fresh system and fresh
+// adversary + scheduler state from the seed — kept as the reference
+// implementation the recycled path is equivalence-tested against.
+func runTrialFresh(ts trialSpec) (sim.RunResult, error) {
 	inputs, err := Inputs(ts.Input, ts.Size.N, ts.seed)
 	if err != nil {
 		return sim.RunResult{}, err
@@ -240,21 +254,26 @@ func serialMap(n int, fn func(i int) (sim.RunResult, error)) ([]sim.RunResult, e
 
 // Run expands the matrix and fans the trials across the deterministic
 // worker pool. The aggregated output is byte-identical to RunSerial: every
-// trial derives all randomness from its seed, builds its own system and
-// adversary state, and lands its result in its own index slot.
-func (m Matrix) Run() (*Sweep, error) { return m.run(parallel.Map[sim.RunResult]) }
+// trial derives all randomness from its seed, draws a private (pooled or
+// fresh — indistinguishable) system + adversary state, and lands its result
+// in its own index slot.
+func (m Matrix) Run() (*Sweep, error) { return m.run(parallel.Map[sim.RunResult], runTrial) }
 
 // RunSerial runs the same sweep on a plain serial loop. It exists to make
 // the parallel path's determinism testable and to time parallel speedups.
-func (m Matrix) RunSerial() (*Sweep, error) { return m.run(serialMap) }
+func (m Matrix) RunSerial() (*Sweep, error) { return m.run(serialMap, runTrial) }
 
-func (m Matrix) run(runAll mapFn) (*Sweep, error) {
+// runFresh runs the sweep serially through the construct-per-trial
+// reference path (no pooling); recycle tests compare it against Run.
+func (m Matrix) runFresh() (*Sweep, error) { return m.run(serialMap, runTrialFresh) }
+
+func (m Matrix) run(runAll mapFn, trial func(trialSpec) (sim.RunResult, error)) (*Sweep, error) {
 	cells, trials, sweep, err := m.expand()
 	if err != nil {
 		return nil, err
 	}
 	results, err := runAll(len(trials), func(i int) (sim.RunResult, error) {
-		return runTrial(trials[i])
+		return trial(trials[i])
 	})
 	if err != nil {
 		return nil, err

@@ -162,6 +162,13 @@ type Adversary struct {
 	// mutable per-execution state (rotation cursors, rng streams, give-up
 	// counters) and trials run concurrently.
 	New func(alg *Algorithm, p Params) (sim.WindowAdversary, error)
+	// Recycle rewinds adv — previously returned by New for the same
+	// algorithm and (n, t) cell — to the state New would produce for p,
+	// reusing its allocations, and reports whether it did. A nil hook (or a
+	// false return, e.g. on an unexpected concrete type) makes the pooled
+	// trial engine construct fresh state with New instead, so Recycle is a
+	// pure optimization and never a correctness requirement.
+	Recycle func(adv sim.WindowAdversary, p Params) bool
 }
 
 var (

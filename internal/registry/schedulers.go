@@ -32,6 +32,11 @@ type Scheduler struct {
 	// per-execution state (rotation cursors, rng streams, reusable
 	// scratch) and trials run concurrently.
 	New func(p Params) (sched.Scheduler, error)
+	// Recycle rewinds s — previously returned by New for the same (n, t)
+	// cell — to the state New would produce for p and reports whether it
+	// did. A nil hook (or a false return) makes the pooled trial engine
+	// construct fresh state with New instead; see Adversary.Recycle.
+	Recycle func(s sched.Scheduler, p Params) bool
 }
 
 var (
@@ -177,6 +182,10 @@ func init() {
 		New: func(Params) (sched.Scheduler, error) {
 			return sched.AdversaryDriven{}, nil
 		},
+		Recycle: func(s sched.Scheduler, _ Params) bool {
+			_, ok := s.(sched.AdversaryDriven) // stateless
+			return ok
+		},
 	})
 
 	// "full" pairs only with adversaries that plan no sender sets, whose
@@ -193,6 +202,10 @@ func init() {
 		New: func(Params) (sched.Scheduler, error) {
 			return sched.FullDelivery{}, nil
 		},
+		Recycle: func(s sched.Scheduler, _ Params) bool {
+			_, ok := s.(sched.FullDelivery) // stateless
+			return ok
+		},
 	})
 
 	mustRegisterScheduler(Scheduler{
@@ -202,6 +215,10 @@ func init() {
 		Compatible:  silencingCompatible,
 		New: func(Params) (sched.Scheduler, error) {
 			return sched.NewAscendingMinimal(), nil
+		},
+		Recycle: func(s sched.Scheduler, _ Params) bool {
+			_, ok := s.(*sched.AscendingMinimal) // carries only reusable scratch
+			return ok
 		},
 	})
 
@@ -213,6 +230,13 @@ func init() {
 		New: func(p Params) (sched.Scheduler, error) {
 			return sched.NewSeededRandom(p.Seed), nil
 		},
+		Recycle: func(s sched.Scheduler, p Params) bool {
+			r, ok := s.(*sched.SeededRandom)
+			if ok {
+				r.RecycleTrial(p.Seed)
+			}
+			return ok
+		},
 	})
 
 	mustRegisterScheduler(Scheduler{
@@ -223,6 +247,13 @@ func init() {
 		New: func(Params) (sched.Scheduler, error) {
 			return sched.NewLaggard(0, 0), nil
 		},
+		Recycle: func(s sched.Scheduler, _ Params) bool {
+			l, ok := s.(*sched.Laggard)
+			if ok {
+				l.RecycleTrial()
+			}
+			return ok
+		},
 	})
 
 	mustRegisterScheduler(Scheduler{
@@ -232,6 +263,13 @@ func init() {
 		Compatible:  silencingCompatible,
 		New: func(Params) (sched.Scheduler, error) {
 			return sched.NewAlternate(), nil
+		},
+		Recycle: func(s sched.Scheduler, _ Params) bool {
+			a, ok := s.(*sched.Alternate)
+			if ok {
+				a.RecycleTrial()
+			}
+			return ok
 		},
 	})
 }

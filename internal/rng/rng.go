@@ -23,6 +23,13 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// Reseed rewinds the source in place to the state New(seed) would produce,
+// discarding all history. Trial-recycling callers use this to reuse one
+// allocated Source across many seeded executions.
+func (s *Source) Reseed(seed uint64) {
+	s.state = seed
+}
+
 // golden is the splitmix64 increment (odd, derived from the golden ratio).
 const golden = 0x9e3779b97f4a7c15
 
@@ -73,12 +80,22 @@ func (s *Source) Float64() float64 {
 // assumes "each processor has its own source of random bits, and all of these
 // sources are unbiased and independent").
 func (s *Source) Fork(label uint64) *Source {
+	dst := new(Source)
+	s.ForkInto(dst, label)
+	return dst
+}
+
+// ForkInto derives the same stream Fork(label) would return but writes it
+// into dst instead of allocating — the in-place counterpart used when
+// recycling a system's per-processor sources. It advances this source's
+// state exactly as Fork does.
+func (s *Source) ForkInto(dst *Source, label uint64) {
 	// Mix the label through one splitmix64 round so that adjacent labels
 	// yield unrelated streams.
 	z := s.Uint64() + label*golden
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return &Source{state: z ^ (z >> 31)}
+	dst.state = z ^ (z >> 31)
 }
 
 // Perm returns a uniformly random permutation of [0, n) using Fisher-Yates.

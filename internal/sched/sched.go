@@ -183,6 +183,13 @@ func NewSeededRandom(seed uint64) *SeededRandom {
 	return &SeededRandom{rng: rng.New(seed)}
 }
 
+// RecycleTrial rewinds the random stream to the state NewSeededRandom(seed)
+// would carry, keeping the scratch, so a pooled instance replays the next
+// trial exactly as a fresh one would.
+func (r *SeededRandom) RecycleTrial(seed uint64) {
+	r.rng.Reseed(seed)
+}
+
 // PlanSenders implements Scheduler.
 func (r *SeededRandom) PlanSenders(s *sim.System, _ []sim.Message) [][]sim.ProcID {
 	n, t := s.N(), s.T()
@@ -228,6 +235,13 @@ var _ Scheduler = (*Laggard)(nil)
 // NewLaggard returns a fresh laggard scheduler starving k processors per
 // epoch of `epoch` windows (0 means the defaults: k = t, epoch = 8).
 func NewLaggard(k, epoch int) *Laggard { return &Laggard{K: k, Epoch: epoch} }
+
+// RecycleTrial rewinds the rotation state (window counter and cursor) to the
+// fresh-construction state; K and Epoch persist.
+func (l *Laggard) RecycleTrial() {
+	l.window = 0
+	l.cursor = 0
+}
 
 // starvedCount resolves K against the fault budget: 0 (or an over-budget
 // K) means "the full budget t". Shared by PlanSenders and Starved so the
@@ -298,6 +312,10 @@ var _ Scheduler = (*Alternate)(nil)
 // NewAlternate returns a fresh alternating scheduler starting with a
 // full-delivery window.
 func NewAlternate() *Alternate { return &Alternate{} }
+
+// RecycleTrial rewinds the window parity to the fresh-construction state
+// (the next window is a full-delivery one).
+func (a *Alternate) RecycleTrial() { a.window = 0 }
 
 // PlanSenders implements Scheduler.
 func (a *Alternate) PlanSenders(s *sim.System, batch []sim.Message) [][]sim.ProcID {

@@ -161,6 +161,34 @@ func (b *Buffer) unlink(si int32) {
 	b.free = append(b.free, si)
 }
 
+// Reset rewinds the buffer to its just-constructed state — no messages, ID
+// sequence restarted — without freeing the arena, ring, free list, or
+// recipient queues, so a recycled trial reuses all of them. Payload
+// references in dead slots were already released on Take/unlink; slots still
+// live are cleared here.
+func (b *Buffer) Reset() {
+	for i := range b.arena {
+		sl := &b.arena[i]
+		sl.msg = Message{}
+		sl.next, sl.prev = -1, -1
+	}
+	b.free = b.free[:0]
+	for i := len(b.arena) - 1; i >= 0; i-- {
+		b.free = append(b.free, int32(i))
+	}
+	for i := range b.ring {
+		b.ring[i] = -1
+	}
+	for i := range b.heads {
+		b.heads[i] = -1
+		b.tails[i] = -1
+	}
+	b.nextID = 0
+	b.idBase = 1
+	b.head = 0
+	b.live = 0
+}
+
 // Take removes and returns the message with the given ID.
 func (b *Buffer) Take(id int64) (Message, bool) {
 	si := b.slotFor(id)

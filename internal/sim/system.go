@@ -81,10 +81,14 @@ type Event struct {
 type System struct {
 	n, t int
 
-	procs   []Process
-	rngs    []*rng.Source
-	inputs  []Bit
-	crashed []bool
+	procs []Process
+	// newProcess is the Config factory, retained so Recycle can rebuild
+	// processes that do not implement the Recycler hook (and replace
+	// corrupted ones).
+	newProcess func(id ProcID, input Bit) Process
+	rngs       []*rng.Source
+	inputs     []Bit
+	crashed    []bool
 	// corrupt marks Byzantine-corrupted processors (replaced by adversary
 	// processes); they are excluded from agreement/termination checks.
 	corrupt []bool
@@ -146,6 +150,7 @@ func New(cfg Config) (*System, error) {
 		n:             cfg.N,
 		t:             cfg.T,
 		procs:         make([]Process, cfg.N),
+		newProcess:    cfg.NewProcess,
 		rngs:          make([]*rng.Source, cfg.N),
 		inputs:        append([]Bit(nil), cfg.Inputs...),
 		crashed:       make([]bool, cfg.N),
@@ -178,10 +183,54 @@ func New(cfg Config) (*System, error) {
 // coins are independent of the past, so reseeding at a configuration is
 // equivalent to conditioning on it.
 func (s *System) Reseed(seed uint64) {
-	root := rng.New(seed)
+	var root rng.Source
+	root.Reseed(seed)
 	for i := range s.rngs {
-		s.rngs[i] = root.Fork(uint64(i))
+		root.ForkInto(s.rngs[i], uint64(i))
 	}
+}
+
+// Recycle rewinds the System to the state New would produce for the same
+// (n, t) shape with the given seed and inputs, without freeing anything: the
+// buffer arena, scratch buffers, per-processor randomness sources, and
+// decision bookkeeping are all rewound in place, so a recycled steady-state
+// trial allocates (near) nothing. Processes implementing Recycler are
+// rewound through that hook; others (and any replaced by Corrupt) are
+// rebuilt through the construction factory. The OnEvent observer, if any,
+// persists across trials.
+func (s *System) Recycle(seed uint64, inputs []Bit) error {
+	if len(inputs) != s.n {
+		return fmt.Errorf("sim: got %d inputs for n=%d", len(inputs), s.n)
+	}
+	copy(s.inputs, inputs)
+	s.buffer.Reset()
+	var root rng.Source
+	root.Reseed(seed)
+	for i := 0; i < s.n; i++ {
+		root.ForkInto(s.rngs[i], uint64(i))
+		if r, ok := s.procs[i].(Recycler); ok && !s.corrupt[i] {
+			r.Recycle(inputs[i])
+		} else {
+			s.procs[i] = s.newProcess(ProcID(i), inputs[i])
+			if s.procs[i] == nil {
+				return fmt.Errorf("sim: NewProcess returned nil for processor %d", i)
+			}
+		}
+		s.crashed[i] = false
+		s.corrupt[i] = false
+		s.resetCounts[i] = 0
+		s.chainDepth[i] = 0
+		s.decidedVal[i] = 0
+		s.decidedOK[i] = false
+		s.decidedWindow[i] = 0
+	}
+	s.totalCrashes = 0
+	s.totalCorrupt = 0
+	s.windows = 0
+	s.steps = 0
+	s.firstDecision = -1
+	s.violation = nil
+	return nil
 }
 
 // N returns the number of processors.

@@ -99,6 +99,37 @@ type Process interface {
 	Snapshot() string
 }
 
+// Recycler is an optional Process extension for trial reuse. Recycle rewinds
+// the process to the state a fresh construction with the given input bit
+// would produce — round counters, tallies, the outbox, and the write-once
+// output must all rewind — while retaining allocated structures (maps,
+// pooled tallies, payload boxes) so a recycled trial allocates (near)
+// nothing. Identity and sizing parameters (n, t, thresholds) persist: a
+// process is only ever recycled into a trial of the same shape.
+//
+// System.Recycle uses this hook; processes that do not implement it are
+// rebuilt through the system's process factory instead.
+type Recycler interface {
+	Recycle(input Bit)
+}
+
+// PayloadReclaimer is an optional Process extension for payload-box reuse in
+// window mode. Once an acceptable window completes, every message of its
+// just-sent batch is dead — delivered or dropped, never to be read again —
+// so the System hands each batch payload back to its sender via
+// ReclaimPayload, letting the sender pool heap-boxed payloads instead of
+// leaking one allocation per broadcast to the garbage collector.
+//
+// Contract: implementations must use comparable payloads (typically a
+// pointer to a pooled box shared by all copies of one broadcast — the System
+// deduplicates consecutive batch entries carrying the same payload, so a
+// shared box is reclaimed once). ReclaimPayload must ignore payload types it
+// does not own. Step mode never reclaims; a pooling process then simply
+// allocates fresh boxes, which is always safe.
+type PayloadReclaimer interface {
+	ReclaimPayload(payload any)
+}
+
 // RandSource is the subset of *rng.Source a Process may use. Defined as an
 // interface here so that algorithm packages depend only on sim.
 type RandSource interface {

@@ -111,7 +111,39 @@ func (s *System) WindowDeliver(batch []Message, senders [][]ProcID) error {
 	for i := range ordered {
 		s.buffer.Take(ordered[i].ID)
 	}
+	s.reclaimBatch(batch)
 	return nil
+}
+
+// reclaimBatch hands the completed window's payloads back to senders that
+// pool them (PayloadReclaimer). Every batch message is dead at this point —
+// delivered or dropped — so its payload box can be reused. The batch is
+// sender-major and all copies of one broadcast share one payload, so
+// deduplicating consecutive equal payloads reclaims each box exactly once.
+// The dedup compare runs before the (pricier) interface assertion: lastFrom
+// is only ever a sender already proven to be a reclaimer, whose contract
+// requires comparable payloads, so the n copies of a broadcast cost one
+// assertion, not n.
+func (s *System) reclaimBatch(batch []Message) {
+	var last any
+	lastFrom := ProcID(-1)
+	for i := range batch {
+		m := &batch[i]
+		if m.From == lastFrom && m.Payload == last {
+			continue
+		}
+		if m.From < 0 || int(m.From) >= s.n {
+			last, lastFrom = nil, -1
+			continue // hand-built batch with a foreign sender: nothing to reclaim
+		}
+		r, ok := s.procs[m.From].(PayloadReclaimer)
+		if !ok {
+			last, lastFrom = nil, -1
+			continue
+		}
+		last, lastFrom = m.Payload, m.From
+		r.ReclaimPayload(m.Payload)
+	}
 }
 
 // WindowResets executes the at most t resetting steps closing a window.

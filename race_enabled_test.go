@@ -1,0 +1,10 @@
+//go:build race
+
+package asyncagree
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Allocation-regression tests that depend on sync.Pool retention
+// skip under race: the runtime deliberately randomizes pool behavior there
+// (dropping items to widen race coverage), so pooled trials reconstruct
+// state and the zero-allocation steady state cannot hold.
+const raceEnabled = true
