@@ -1,6 +1,6 @@
 package asyncagree
 
-// Benchmark harness: one benchmark per experiment in DESIGN.md §4 (the
+// Benchmark harness: one benchmark per experiment in DESIGN.md §5 (the
 // paper has no numbered tables/figures; each theorem or in-text claim has an
 // experiment ID E1..E14), plus substrate micro-benchmarks. Regenerate the
 // EXPERIMENTS.md tables with `go run ./cmd/experiments -scale full`.
@@ -112,6 +112,13 @@ func BenchmarkBufferOps(b *testing.B) {
 // cmd/bench via internal/benchcases.
 func BenchmarkSweepThroughput(b *testing.B) {
 	benchcases.SweepThroughput()(b)
+}
+
+// BenchmarkSweepMemory tracks the streaming pipeline's bytes-retained
+// behavior over a trial-heavy single-cell sweep. The body is shared with
+// cmd/bench via internal/benchcases.
+func BenchmarkSweepMemory(b *testing.B) {
+	b.Run("trials=4096", benchcases.SweepMemory(4096))
 }
 
 // BenchmarkRandomWindows measures the chaos adversary's planning cost.

@@ -84,6 +84,7 @@ func suite() []struct {
 	add("PaxosDecision/"+benchcases.SizeLabel(5), benchcases.PaxosDecision(5))
 	add("BufferOps", benchcases.BufferOps())
 	add("SweepThroughput", benchcases.SweepThroughput())
+	add("SweepMemory/trials=4096", benchcases.SweepMemory(4096))
 	return cases
 }
 

@@ -1,6 +1,6 @@
 // Command experiments regenerates the reproduction tables of EXPERIMENTS.md:
 // one experiment per theorem or in-text quantitative claim of the paper
-// (the paper has no numbered tables/figures; see DESIGN.md §4 for the
+// (the paper has no numbered tables/figures; see DESIGN.md §5 for the
 // index).
 //
 // Usage:

@@ -11,35 +11,65 @@
 // serial sweep (-serial). Timing goes to stderr so stdout stays
 // deterministic.
 //
+// Results stream: per-cell aggregates are reduced online and -out streams
+// one record per trial (JSONL, or CSV when the path ends in .csv), so
+// memory stays O(cells) however many seeds run. With -out a checkpoint file
+// (default <out>.ckpt, override with -checkpoint, "off" disables) records
+// every completed trial; an interrupted sweep — Ctrl-C flushes cleanly and
+// prints this hint — rerun with -resume skips the completed prefix and
+// produces output byte-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	sweep                                   # full compatible cross-product, default grid
 //	sweep -algs core,benor -advs splitvote  # restrict axes
 //	sweep -scheds adversary                 # the pre-scheduler trials (table adds a scheduler column)
 //	sweep -sizes 12:1,24:3 -trials 5        # custom shapes, seeds 1..5
+//	sweep -out results.jsonl -progress      # stream per-trial records, report progress
+//	sweep -out results.jsonl -resume        # continue an interrupted sweep
 //	sweep -list                             # print the registered inventory
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"asyncagree/internal/registry"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	stop := installInterrupt()
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// installInterrupt converts the first SIGINT into a clean-stop request (the
+// sweep flushes sinks and the checkpoint, then exits with a resume hint); a
+// second SIGINT falls back to the default abrupt exit.
+func installInterrupt() func() bool {
+	var stopped atomic.Bool
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		<-ch
+		stopped.Store(true)
+		signal.Stop(ch)
+	}()
+	return stopped.Load
+}
+
+func run(args []string, out io.Writer, interrupted func() bool) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		algs       = fs.String("algs", "", "comma-separated algorithms (empty = all registered)")
@@ -52,6 +82,11 @@ func run(args []string, out io.Writer) error {
 		serial     = fs.Bool("serial", false, "run trials on a serial loop instead of the worker pool")
 		verbose    = fs.Bool("v", false, "also print skipped sizes and incompatible-pair counts")
 		list       = fs.Bool("list", false, "print the registered algorithms, adversaries, schedulers, and input patterns")
+		outPath    = fs.String("out", "", "stream per-trial records here (.csv = CSV, anything else = JSONL)")
+		ckptPath   = fs.String("checkpoint", "", "checkpoint file for -resume (default <out>.ckpt when -out is set; \"off\" disables)")
+		resume     = fs.Bool("resume", false, "skip trials already recorded in the checkpoint and continue the sweep")
+		progress   = fs.Bool("progress", false, "report trial progress to stderr")
+		stopAfter  = fs.Int("interrupt-after", 0, "stop cleanly after N completed trials, as if interrupted (testing hook for -resume)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,12 +114,93 @@ func run(args []string, out io.Writer) error {
 		m.Seeds = append(m.Seeds, seed)
 	}
 
+	ckpt := *ckptPath
+	switch {
+	case ckpt == "off":
+		ckpt = ""
+	case ckpt == "" && *outPath != "":
+		ckpt = *outPath + ".ckpt"
+	}
+	if *resume && ckpt == "" {
+		return errors.New("-resume needs a checkpoint: set -out or -checkpoint")
+	}
+
+	grid := m.GridSignature()
+	var prefix []registry.TrialRecord
+	if *resume {
+		if prefix, err = registry.LoadCheckpoint(ckpt, grid); err != nil {
+			return err
+		}
+		if *progress && len(prefix) > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: resuming past %d checkpointed trials\n", len(prefix))
+		}
+	}
+
+	opts := registry.RunOptions{Resume: prefix, Serial: *serial}
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	if *outPath != "" {
+		sink, f, err := openOutSink(*outPath, prefix)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		opts.Sinks = append(opts.Sinks, sink)
+	}
+	if ckpt != "" {
+		sink, f, err := openCheckpointSink(ckpt, grid, prefix)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		opts.Sinks = append(opts.Sinks, sink)
+	}
+
+	var emitted atomic.Int64
+	stopRequested := func() bool {
+		if interrupted != nil && interrupted() {
+			return true
+		}
+		return *stopAfter > 0 && emitted.Load() >= int64(*stopAfter)
+	}
+	opts.Stop = stopRequested
+	lastReport := time.Now()
+	opts.Progress = func(done, total int) {
+		emitted.Store(int64(done))
+		if *progress && (done == total || time.Since(lastReport) >= 500*time.Millisecond) {
+			lastReport = time.Now()
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d trials (%.1f%%)\n",
+				done, total, 100*float64(done)/float64(total))
+		}
+	}
+
 	start := time.Now()
-	var sweep *registry.Sweep
-	if *serial {
-		sweep, err = m.RunSerial()
-	} else {
-		sweep, err = m.Run()
+	sweep, err := m.RunWith(opts)
+	if errors.Is(err, registry.ErrInterrupted) {
+		// Echo the invocation with -resume added and -interrupt-after
+		// stripped — re-running the hint verbatim must make progress, not
+		// re-interrupt itself after the replayed prefix.
+		var resumeArgs []string
+		for i := 0; i < len(args); i++ {
+			if args[i] == "-interrupt-after" || args[i] == "--interrupt-after" {
+				i++ // skip the value too
+				continue
+			}
+			if strings.HasPrefix(args[i], "-interrupt-after=") || strings.HasPrefix(args[i], "--interrupt-after=") {
+				continue
+			}
+			resumeArgs = append(resumeArgs, args[i])
+		}
+		if !*resume {
+			resumeArgs = append(resumeArgs, "-resume")
+		}
+		fmt.Fprintf(os.Stderr, "sweep: interrupted after %d trials; partial results are checkpointed — resume with: sweep %s\n",
+			emitted.Load(), strings.Join(resumeArgs, " "))
+		return err
 	}
 	if err != nil {
 		return err
@@ -104,6 +220,85 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d agreement/validity violations in safety-certain algorithms (this is a bug, not an expected outcome)", v)
 	}
 	return nil
+}
+
+// openOutSink prepares the per-trial record export: the file is rewritten
+// from the resumed prefix (healing any torn tail of the interrupted run)
+// and the returned sink appends the remaining live trials, so the finished
+// file is byte-identical to an uninterrupted run's.
+func openOutSink(path string, prefix []registry.TrialRecord) (registry.ResultSink, *os.File, error) {
+	csv := strings.EqualFold(filepath.Ext(path), ".csv")
+	f, err := rewriteThenAppend(path, func(w io.Writer) error {
+		var sink registry.ResultSink
+		if csv {
+			sink = registry.NewCSVSink(w)
+		} else {
+			sink = registry.NewJSONLSink(w)
+		}
+		for _, rec := range prefix {
+			if err := sink.Consume(rec); err != nil {
+				return err
+			}
+		}
+		return sink.Flush()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if csv {
+		s := registry.NewCSVSink(f)
+		if len(prefix) > 0 {
+			s.SkipHeader()
+		}
+		return s, f, nil
+	}
+	return registry.NewJSONLSink(f), f, nil
+}
+
+// openCheckpointSink prepares the checkpoint: header plus the verified
+// resumed prefix are rewritten, and the returned sink appends every further
+// completed trial as it is emitted.
+func openCheckpointSink(path, grid string, prefix []registry.TrialRecord) (registry.ResultSink, *os.File, error) {
+	f, err := rewriteThenAppend(path, func(w io.Writer) error {
+		if err := registry.WriteCheckpointHeader(w, grid); err != nil {
+			return err
+		}
+		sink := registry.NewJSONLSink(w)
+		for _, rec := range prefix {
+			if err := sink.Consume(rec); err != nil {
+				return err
+			}
+		}
+		return sink.Flush()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return registry.NewJSONLSink(f), f, nil
+}
+
+// rewriteThenAppend atomically replaces path with the bytes head writes
+// (temp file + rename, so a crash mid-rewrite never loses the old file),
+// then reopens it for appending.
+func rewriteThenAppend(path string, head func(io.Writer) error) (*os.File, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	if err := head(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 func splitList(s string) []string {

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"asyncagree/internal/registry"
 )
 
 func TestSweepDeterministicOutput(t *testing.T) {
@@ -12,10 +18,10 @@ func TestSweepDeterministicOutput(t *testing.T) {
 		"-trials", "2", "-max-windows", "2000",
 	}
 	var out1, out2 strings.Builder
-	if err := run(args, &out1); err != nil {
+	if err := run(args, &out1, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(args, &out2); err != nil {
+	if err := run(args, &out2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if out1.String() != out2.String() {
@@ -32,10 +38,10 @@ func TestSweepSerialMatchesParallelOutput(t *testing.T) {
 		"-trials", "2", "-max-windows", "1000",
 	}
 	var par, ser strings.Builder
-	if err := run(base, &par); err != nil {
+	if err := run(base, &par, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append([]string{"-serial"}, base...), &ser); err != nil {
+	if err := run(append([]string{"-serial"}, base...), &ser, nil); err != nil {
 		t.Fatal(err)
 	}
 	if par.String() != ser.String() {
@@ -45,7 +51,7 @@ func TestSweepSerialMatchesParallelOutput(t *testing.T) {
 
 func TestSweepList(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run([]string{"-list"}, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"core", "paxos", "splitvote", "silence", "blocks",
@@ -67,7 +73,7 @@ func TestSweepSchedulerAxis(t *testing.T) {
 		"-trials", "2", "-max-windows", "2000",
 	}
 	var out strings.Builder
-	if err := run(args, &out); err != nil {
+	if err := run(args, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "cells 6") {
@@ -89,11 +95,179 @@ func TestSweepRejectsBadFlags(t *testing.T) {
 		{"-sizes", "12"},
 		{"-sizes", "a:b"},
 		{"-trials", "-1"},
+		{"-resume"}, // no -out/-checkpoint to resume from
 	}
 	for _, args := range cases {
 		var out strings.Builder
-		if err := run(args, &out); err == nil {
+		if err := run(args, &out, nil); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+// smokeArgs is the small grid the streaming/resume tests run: two
+// algorithms under two adversaries, 12 trials total.
+func smokeArgs(extra ...string) []string {
+	return append([]string{
+		"-algs", "core,benor", "-advs", "full,splitvote", "-scheds", "adversary",
+		"-sizes", "12:1", "-inputs", "split,ones",
+		"-trials", "2", "-max-windows", "2000",
+	}, extra...)
+}
+
+// TestSweepOutSinks checks the -out record streams: the JSONL export has
+// one record per trial in index order, and the CSV export mirrors it under
+// the fixed header.
+func TestSweepOutSinks(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "results.jsonl")
+	csv := filepath.Join(dir, "results.csv")
+
+	var out strings.Builder
+	if err := run(smokeArgs("-out", jsonl, "-checkpoint", "off"), &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(smokeArgs("-out", csv, "-checkpoint", "off"), &out, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	jl, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jLines := strings.Split(strings.TrimSuffix(string(jl), "\n"), "\n")
+	// 2 algs × 2 advs compatible cells at 12:1 × 2 inputs × 2 seeds, minus
+	// nothing: count must match the reported trial total.
+	if !strings.Contains(out.String(), "trials 16") {
+		t.Fatalf("unexpected trial count:\n%s", out.String())
+	}
+	if len(jLines) != 16 {
+		t.Fatalf("jsonl lines = %d, want 16:\n%s", len(jLines), string(jl))
+	}
+	for i, line := range jLines {
+		if !strings.Contains(line, `"index":`+strconv.Itoa(i)+",") {
+			t.Fatalf("line %d out of order: %s", i, line)
+		}
+	}
+
+	cl, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cLines := strings.Split(strings.TrimSuffix(string(cl), "\n"), "\n")
+	if len(cLines) != 17 {
+		t.Fatalf("csv lines = %d, want header + 16", len(cLines))
+	}
+	if !strings.HasPrefix(cLines[0], "index,algorithm,adversary") {
+		t.Fatalf("csv header = %q", cLines[0])
+	}
+}
+
+// TestSweepResumeIdentical is the pipeline's central guarantee: a sweep
+// interrupted partway (the -interrupt-after hook, the same clean-stop path
+// SIGINT takes) and then resumed produces a table, a JSONL export, and a
+// checkpoint byte-identical to an uninterrupted run's.
+func TestSweepResumeIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cleanOut := filepath.Join(dir, "clean.jsonl")
+	resOut := filepath.Join(dir, "resumed.jsonl")
+
+	var cleanTable strings.Builder
+	if err := run(smokeArgs("-out", cleanOut), &cleanTable, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var interruptedTable strings.Builder
+	err := run(smokeArgs("-out", resOut, "-interrupt-after", "5"), &interruptedTable, nil)
+	if !errors.Is(err, registry.ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	if interruptedTable.Len() != 0 {
+		t.Fatalf("interrupted run printed a table:\n%s", interruptedTable.String())
+	}
+	ckpt, err := os.ReadFile(resOut + ".ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(ckpt), "\n"); got < 1+5 {
+		t.Fatalf("checkpoint has %d lines, want at least header + 5 records:\n%s", got, ckpt)
+	}
+
+	var resumedTable strings.Builder
+	if err := run(smokeArgs("-out", resOut, "-resume"), &resumedTable, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if cleanTable.String() != resumedTable.String() {
+		t.Fatalf("resumed table diverged from clean run:\n%s\n---\n%s",
+			cleanTable.String(), resumedTable.String())
+	}
+	clean, err := os.ReadFile(cleanOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(resOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(clean) != string(resumed) {
+		t.Fatalf("resumed JSONL diverged from clean run:\n%s\n---\n%s", clean, resumed)
+	}
+}
+
+// TestSweepResumeRejectsChangedGrid pins the misuse guard: a checkpoint
+// recorded against one grid cannot silently seed a different one.
+func TestSweepResumeRejectsChangedGrid(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "r.jsonl")
+	err := run(smokeArgs("-out", out, "-interrupt-after", "3"), &strings.Builder{}, nil)
+	if !errors.Is(err, registry.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	// Same -out/-checkpoint, different trial count → different grid.
+	args := append([]string{
+		"-algs", "core,benor", "-advs", "full,splitvote", "-scheds", "adversary",
+		"-sizes", "12:1", "-inputs", "split,ones",
+		"-trials", "3", "-max-windows", "2000",
+	}, "-out", out, "-resume")
+	if err := run(args, &strings.Builder{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "grid") {
+		t.Fatalf("changed grid accepted on resume: %v", err)
+	}
+}
+
+// TestSweepTornCheckpointTail simulates a hard kill mid-write: a torn final
+// checkpoint line is discarded and the resume still completes identically.
+func TestSweepTornCheckpointTail(t *testing.T) {
+	dir := t.TempDir()
+	cleanOut := filepath.Join(dir, "clean.jsonl")
+	resOut := filepath.Join(dir, "torn.jsonl")
+	var cleanTable strings.Builder
+	if err := run(smokeArgs("-out", cleanOut), &cleanTable, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(smokeArgs("-out", resOut, "-interrupt-after", "4"), &strings.Builder{}, nil); !errors.Is(err, registry.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	// Tear the checkpoint tail.
+	f, err := os.OpenFile(resOut+".ckpt", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":99,"algo`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var resumedTable strings.Builder
+	if err := run(smokeArgs("-out", resOut, "-resume"), &resumedTable, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cleanTable.String() != resumedTable.String() {
+		t.Fatal("resume after torn checkpoint tail diverged from clean run")
+	}
+	clean, _ := os.ReadFile(cleanOut)
+	resumed, _ := os.ReadFile(resOut)
+	if string(clean) != string(resumed) {
+		t.Fatal("resumed JSONL after torn tail diverged from clean run")
 	}
 }

@@ -136,6 +136,43 @@ func PaxosDecision(n int) func(b *testing.B) {
 	}
 }
 
+// SweepMemory measures the streaming result pipeline's bytes-retained
+// behavior: a single cell (core under full delivery, unanimous inputs —
+// each trial decides in its first window) swept across `seeds` seeds per
+// iteration. With results reduced online the per-op allocation footprint is
+// dominated by the fixed engine-pool warm-up and the seed list, independent
+// of the trial count; reintroducing O(trials) result buffering shows up
+// directly in this case's allocs/op and B/op trajectory (and is
+// test-asserted with forced-GC heap sampling in
+// registry.TestRunPeakRetainedMemoryIndependentOfTrialCount).
+func SweepMemory(seeds int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		m := registry.Matrix{
+			Algorithms:  []string{"core"},
+			Adversaries: []string{"full"},
+			Schedulers:  []string{"adversary"},
+			Sizes:       []registry.Size{{N: 12, T: 1}},
+			Inputs:      []string{"ones"},
+			MaxWindows:  4,
+		}
+		for s := uint64(1); s <= uint64(seeds); s++ {
+			m.Seeds = append(m.Seeds, s)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep, err := m.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sweep.TrialCount != seeds || len(sweep.Cells) != 1 {
+				b.Fatalf("unexpected sweep shape: %d trials, %d cells",
+					sweep.TrialCount, len(sweep.Cells))
+			}
+		}
+	}
+}
+
 // BufferOps measures raw message buffer Add/Take throughput.
 func BufferOps() func(b *testing.B) {
 	return func(b *testing.B) {

@@ -10,6 +10,7 @@ import (
 	"asyncagree/internal/registry"
 	"asyncagree/internal/sim"
 	"asyncagree/internal/stats"
+	"asyncagree/internal/stream"
 )
 
 // runE8 measures message-chain length at decision for Ben-Or (forgetful +
@@ -28,22 +29,35 @@ func runE8(scale Scale) (Result, error) {
 	var xs, ys []float64
 	for _, n := range ns {
 		t := n / 4
-		chains, err := RunTrials(trials, func(trial int) (int, error) {
-			p := registry.Params{N: n, T: t, Seed: uint64(trial + 1), Inputs: registry.SplitInputs(n)}
-			res, err := registry.RunPooledTrial("benor", "splitvote", "adversary", p, maxW)
-			if err != nil {
-				return 0, err
-			}
-			chain := res.MaxChainDepth
-			if res.FirstDecision < 0 {
-				chain = maxW // censored
-			}
-			return chain, nil
-		})
+		type e8Acc struct {
+			chains    stream.Summary
+			quantiles *stream.Reservoir
+		}
+		acc, err := ReduceTrials(trials,
+			func() *e8Acc { return &e8Acc{quantiles: stream.NewReservoir(0)} },
+			func(a *e8Acc, trial int) (*e8Acc, error) {
+				p := registry.Params{N: n, T: t, Seed: uint64(trial + 1), Inputs: registry.SplitInputs(n)}
+				res, err := registry.RunPooledTrial("benor", "splitvote", "adversary", p, maxW)
+				if err != nil {
+					return a, err
+				}
+				chain := res.MaxChainDepth
+				if res.FirstDecision < 0 {
+					chain = maxW // censored
+				}
+				a.chains.AddInt(chain)
+				a.quantiles.AddInt(chain)
+				return a, nil
+			},
+			func(into, from *e8Acc) *e8Acc {
+				into.chains.Merge(&from.chains)
+				into.quantiles.Merge(from.quantiles)
+				return into
+			})
 		if err != nil {
 			return Result{}, err
 		}
-		sum := stats.SummarizeInts(chains)
+		sum := stats.FromStream(&acc.chains, acc.quantiles)
 		table.AddRow(n, t, trials, sum.Mean, sum.Median, sum.Max)
 		xs = append(xs, float64(n))
 		ys = append(ys, sum.Mean)
@@ -81,7 +95,7 @@ func runE10(scale Scale) (Result, error) {
 
 	type outcome struct {
 		decided, safe int
-		windows       []int
+		windows       stream.Summary
 	}
 	run := func(alg, attack string, seed uint64) (bool, bool, int, error) {
 		var s *sim.System
@@ -152,31 +166,35 @@ func runE10(scale Scale) (Result, error) {
 			if alg == "bracha" && attack == "adaptive" {
 				continue // no committee to strike; covered by non-adaptive
 			}
-			type trialOut struct {
-				decided, safe bool
-				windows       int
-			}
-			results, err := RunTrials(trials, func(trial int) (trialOut, error) {
-				decided, safe, w, err := run(alg, attack, uint64(trial+1))
-				return trialOut{decided: decided, safe: safe, windows: w}, err
-			})
+			o, err := ReduceTrials(trials,
+				func() *outcome { return &outcome{} },
+				func(a *outcome, trial int) (*outcome, error) {
+					decided, safe, w, err := run(alg, attack, uint64(trial+1))
+					if err != nil {
+						return a, err
+					}
+					if decided {
+						a.decided++
+						a.windows.AddInt(w)
+					}
+					if safe {
+						a.safe++
+					}
+					return a, nil
+				},
+				func(into, from *outcome) *outcome {
+					into.decided += from.decided
+					into.safe += from.safe
+					into.windows.Merge(&from.windows)
+					return into
+				})
 			if err != nil {
 				return Result{}, err
-			}
-			var o outcome
-			for _, r := range results {
-				if r.decided {
-					o.decided++
-					o.windows = append(o.windows, r.windows)
-				}
-				if r.safe {
-					o.safe++
-				}
 			}
 			table.AddRow(alg, attack, trials,
 				fmt.Sprintf("%d/%d", o.decided, trials),
 				fmt.Sprintf("%d/%d", o.safe, trials),
-				stats.SummarizeInts(o.windows).Mean)
+				o.windows.Mean())
 			switch {
 			case alg == "committee" && attack == "adaptive" && o.decided == trials:
 				pass = false // the adaptive attack must hurt
@@ -217,34 +235,43 @@ func runE11(scale Scale) (Result, error) {
 		{"fair lockstep", []sim.ProcID{0, 1}, false},
 		{"dueling", []sim.ProcID{0, 1}, true},
 	} {
-		results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
-			s, err := registry.NewSystem("paxos", registry.Params{
-				N: n, T: 2, Seed: uint64(trial + 1), Inputs: registry.SplitInputs(n),
-				Proposers: cfg.proposers,
+		acc, err := ReduceTrials(trials,
+			func() [2]int { return [2]int{} },
+			func(a [2]int, trial int) ([2]int, error) {
+				s, err := registry.NewSystem("paxos", registry.Params{
+					N: n, T: 2, Seed: uint64(trial + 1), Inputs: registry.SplitInputs(n),
+					Proposers: cfg.proposers,
+				})
+				if err != nil {
+					return a, err
+				}
+				var sched sim.StepAdversary
+				if cfg.dueling {
+					sched = paxos.NewDuelScheduler()
+				} else {
+					sched = adversary.NewLockstep()
+				}
+				res, err := s.RunSteps(sched, budget)
+				if err != nil {
+					return a, err
+				}
+				if res.AllDecided {
+					a[0]++
+				}
+				if res.Agreement && res.Validity {
+					a[1]++
+				}
+				return a, nil
+			},
+			func(into, from [2]int) [2]int {
+				into[0] += from[0]
+				into[1] += from[1]
+				return into
 			})
-			if err != nil {
-				return sim.RunResult{}, err
-			}
-			var sched sim.StepAdversary
-			if cfg.dueling {
-				sched = paxos.NewDuelScheduler()
-			} else {
-				sched = adversary.NewLockstep()
-			}
-			return s.RunSteps(sched, budget)
-		})
 		if err != nil {
 			return Result{}, err
 		}
-		decided, safe := 0, 0
-		for _, res := range results {
-			if res.AllDecided {
-				decided++
-			}
-			if res.Agreement && res.Validity {
-				safe++
-			}
-		}
+		decided, safe := acc[0], acc[1]
 		table.AddRow(cfg.name, len(cfg.proposers), trials,
 			fmt.Sprintf("%d/%d", decided, trials),
 			fmt.Sprintf("%d/%d", safe, trials))

@@ -1,6 +1,6 @@
 // Package experiments regenerates every quantitative claim of the paper as
 // a table (the paper has no numbered tables or figures — it is pure theory —
-// so each theorem or in-text argument gets an experiment; see DESIGN.md §4
+// so each theorem or in-text argument gets an experiment; see DESIGN.md §5
 // and EXPERIMENTS.md for the index).
 //
 // Each experiment is registered under a stable ID (E1..E14) and runs at one
@@ -94,8 +94,24 @@ func Get(id string) (Experiment, error) {
 // must not share mutable state (every trial builds its own sim.System). On
 // failure the error of the lowest failing index is returned — the same
 // error a serial loop would have surfaced first.
+//
+// RunTrials holds all trial results at once; the experiment drivers reduce
+// through ReduceTrials instead, which keeps only online accumulators.
 func RunTrials[T any](trials int, fn func(trial int) (T, error)) ([]T, error) {
 	return parallel.Map(trials, fn)
+}
+
+// ReduceTrials is the streaming counterpart of RunTrials: trials fan across
+// the same worker pool, but each worker folds its results into a block
+// accumulator and the blocks merge in index order, so an experiment's
+// memory is its accumulator — O(1) in the trial count — instead of a result
+// slice. With the order-deterministic accumulators of internal/stream the
+// aggregate is byte-identical to the serial loop for every statistic the
+// tables render (counts, integer-sample means, quantiles within the sketch
+// capacity); see parallel.Reduce for the exact contract. Error semantics
+// match RunTrials: the lowest failing trial index wins.
+func ReduceTrials[A any](trials int, newAcc func() A, fold func(acc A, trial int) (A, error), merge func(into, from A) A) (A, error) {
+	return parallel.Reduce(trials, newAcc, fold, merge)
 }
 
 // verdict formats a pass/fail note.

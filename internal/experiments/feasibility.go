@@ -8,6 +8,7 @@ import (
 	"asyncagree/internal/registry"
 	"asyncagree/internal/sim"
 	"asyncagree/internal/stats"
+	"asyncagree/internal/stream"
 )
 
 // runE1 stresses Theorem 4: the core algorithm with default thresholds and
@@ -31,33 +32,46 @@ func runE1(scale Scale) (Result, error) {
 		// adversaries (the "subsets" chaos scheduler is omitted: it is
 		// strictly weaker than "random" here).
 		for _, advName := range []string{"full", "random", "storm", "splitvote"} {
-			results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
-				seed := uint64(trial + 1)
-				p := registry.Params{N: n, T: t, Seed: seed, Inputs: patternInputs(n, seed)}
-				return registry.RunPooledTrial("core", advName, "adversary", p, maxWindows)
-			})
+			type e1Acc struct {
+				agreeViol, validViol, terminated int
+				windows                          stream.Summary
+			}
+			acc, err := ReduceTrials(trials,
+				func() *e1Acc { return &e1Acc{} },
+				func(a *e1Acc, trial int) (*e1Acc, error) {
+					seed := uint64(trial + 1)
+					p := registry.Params{N: n, T: t, Seed: seed, Inputs: patternInputs(n, seed)}
+					res, err := registry.RunPooledTrial("core", advName, "adversary", p, maxWindows)
+					if err != nil {
+						return a, err
+					}
+					if !res.Agreement {
+						a.agreeViol++
+					}
+					if !res.Validity {
+						a.validViol++
+					}
+					if res.AllDecided {
+						a.terminated++
+						a.windows.AddInt(res.Windows)
+					}
+					return a, nil
+				},
+				func(into, from *e1Acc) *e1Acc {
+					into.agreeViol += from.agreeViol
+					into.validViol += from.validViol
+					into.terminated += from.terminated
+					into.windows.Merge(&from.windows)
+					return into
+				})
 			if err != nil {
 				return Result{}, err
 			}
-			var agreeViol, validViol, terminated int
-			var windows []int
-			for _, res := range results {
-				if !res.Agreement {
-					agreeViol++
-				}
-				if !res.Validity {
-					validViol++
-				}
-				if res.AllDecided {
-					terminated++
-					windows = append(windows, res.Windows)
-				}
-			}
-			if agreeViol > 0 || validViol > 0 || terminated < trials {
+			if acc.agreeViol > 0 || acc.validViol > 0 || acc.terminated < trials {
 				pass = false
 			}
-			table.AddRow(n, t, advName, trials, agreeViol, validViol,
-				fmt.Sprintf("%d/%d", terminated, trials), stats.SummarizeInts(windows).Mean)
+			table.AddRow(n, t, advName, trials, acc.agreeViol, acc.validViol,
+				fmt.Sprintf("%d/%d", acc.terminated, trials), acc.windows.Mean())
 		}
 	}
 	return Result{
@@ -132,31 +146,41 @@ func runE9(scale Scale) (Result, error) {
 	}
 	for _, cfg := range configs {
 		for _, v := range []sim.Bit{0, 1} {
-			results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
-				p := registry.Params{
-					N: cfg.n, T: cfg.t, Seed: uint64(trial + 1),
-					Inputs: registry.UnanimousInputs(cfg.n, v),
-				}
-				return registry.RunPooledTrial(cfg.name, "full", "adversary", p, cfg.maxW)
-			})
+			type e9Acc struct{ decidedAll, maxFirst int }
+			acc, err := ReduceTrials(trials,
+				func() *e9Acc { return &e9Acc{} },
+				func(a *e9Acc, trial int) (*e9Acc, error) {
+					p := registry.Params{
+						N: cfg.n, T: cfg.t, Seed: uint64(trial + 1),
+						Inputs: registry.UnanimousInputs(cfg.n, v),
+					}
+					res, err := registry.RunPooledTrial(cfg.name, "full", "adversary", p, cfg.maxW)
+					if err != nil {
+						return a, err
+					}
+					if res.AllDecided && res.Decision == v && res.Agreement && res.Validity {
+						a.decidedAll++
+					}
+					if res.FirstDecision > a.maxFirst {
+						a.maxFirst = res.FirstDecision
+					}
+					return a, nil
+				},
+				func(into, from *e9Acc) *e9Acc {
+					into.decidedAll += from.decidedAll
+					if from.maxFirst > into.maxFirst {
+						into.maxFirst = from.maxFirst
+					}
+					return into
+				})
 			if err != nil {
 				return Result{}, err
 			}
-			decidedAll := 0
-			maxFirst := 0
-			for _, res := range results {
-				if res.AllDecided && res.Decision == v && res.Agreement && res.Validity {
-					decidedAll++
-				}
-				if res.FirstDecision > maxFirst {
-					maxFirst = res.FirstDecision
-				}
-			}
-			if decidedAll != trials {
+			if acc.decidedAll != trials {
 				pass = false
 			}
 			table.AddRow(cfg.name, cfg.n, cfg.t, v, trials,
-				fmt.Sprintf("%d/%d", decidedAll, trials), maxFirst)
+				fmt.Sprintf("%d/%d", acc.decidedAll, trials), acc.maxFirst)
 		}
 	}
 	return Result{
@@ -186,18 +210,23 @@ func runE12(scale Scale) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		counts, err := RunTrials(trials, func(trial int) ([2]int, error) {
-			c, w, err := countConflictWindows(n, t, th, uint64(trial+1), windows)
-			return [2]int{c, w}, err
-		})
+		acc, err := ReduceTrials(trials,
+			func() [2]int { return [2]int{} },
+			func(a [2]int, trial int) ([2]int, error) {
+				c, w, err := countConflictWindows(n, t, th, uint64(trial+1), windows)
+				a[0] += c
+				a[1] += w
+				return a, err
+			},
+			func(into, from [2]int) [2]int {
+				into[0] += from[0]
+				into[1] += from[1]
+				return into
+			})
 		if err != nil {
 			return Result{}, err
 		}
-		conflicts, observed := 0, 0
-		for _, cw := range counts {
-			conflicts += cw[0]
-			observed += cw[1]
-		}
+		conflicts, observed := acc[0], acc[1]
 		if conflicts > 0 {
 			pass = false
 		}

@@ -26,7 +26,7 @@ func runE2(scale Scale) (Result, error) {
 	}
 	table := stats.NewTable("n", "t", "trials", "mean-windows", "median", "p90", "max", "adversary-beaten-frac")
 	for _, p := range series {
-		table.AddRow(p.N, p.T, len(p.Windows), p.Summary.Mean, p.Summary.Median, p.Summary.P90, p.Summary.Max, p.GaveUpFraction)
+		table.AddRow(p.N, p.T, p.Trials, p.Summary.Mean, p.Summary.Median, p.Summary.P90, p.Summary.Max, p.GaveUpFraction)
 	}
 	fit, ok := lowerbound.FitGrowth(series)
 	notes := []string{}

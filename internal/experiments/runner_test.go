@@ -8,6 +8,8 @@ import (
 	"asyncagree/internal/adversary"
 	"asyncagree/internal/core"
 	"asyncagree/internal/sim"
+	"asyncagree/internal/stats"
+	"asyncagree/internal/stream"
 )
 
 // trialFn is a representative experiment trial: a full adversarial run of
@@ -75,6 +77,93 @@ func TestRunTrialsSurfacesLowestError(t *testing.T) {
 		}
 		return trial, nil
 	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+// TestReduceTrialsMatchesSerialAccumulation is the streaming reducer's
+// determinism guarantee over a real simulator workload: reducing seeded
+// trials into stream accumulators across the worker pool reproduces the
+// serial collect-then-summarize loop exactly for every statistic the
+// experiment tables render, run after run.
+func TestReduceTrialsMatchesSerialAccumulation(t *testing.T) {
+	const trials = 24
+	fn := trialFn(t)
+
+	var windows []int
+	decided := 0
+	for i := 0; i < trials; i++ {
+		res, err := fn(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AllDecided {
+			decided++
+			windows = append(windows, res.Windows)
+		}
+	}
+	want := stats.SummarizeInts(windows)
+
+	type acc struct {
+		decided   int
+		windows   stream.Summary
+		quantiles *stream.Reservoir
+	}
+	reduce := func() (*acc, error) {
+		return ReduceTrials(trials,
+			func() *acc { return &acc{quantiles: stream.NewReservoir(0)} },
+			func(a *acc, trial int) (*acc, error) {
+				res, err := fn(trial)
+				if err != nil {
+					return a, err
+				}
+				if res.AllDecided {
+					a.decided++
+					a.windows.AddInt(res.Windows)
+					a.quantiles.AddInt(res.Windows)
+				}
+				return a, nil
+			},
+			func(into, from *acc) *acc {
+				into.decided += from.decided
+				into.windows.Merge(&from.windows)
+				into.quantiles.Merge(from.quantiles)
+				return into
+			})
+	}
+	got, err := reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.decided != decided {
+		t.Fatalf("decided = %d, want %d", got.decided, decided)
+	}
+	if sum := stats.FromStream(&got.windows, got.quantiles); sum != want {
+		t.Fatalf("streaming summary %+v != serial %+v", sum, want)
+	}
+	// And the reduction must be replayable.
+	again, err := reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FromStream(&again.windows, again.quantiles) != stats.FromStream(&got.windows, got.quantiles) {
+		t.Fatal("two reductions with identical seeds diverged")
+	}
+}
+
+// TestReduceTrialsSurfacesLowestError mirrors RunTrials error semantics.
+func TestReduceTrialsSurfacesLowestError(t *testing.T) {
+	sentinel := errors.New("trial failed")
+	_, err := ReduceTrials(32,
+		func() int { return 0 },
+		func(a, trial int) (int, error) {
+			if trial >= 5 {
+				return a, sentinel
+			}
+			return a + 1, nil
+		},
+		func(into, from int) int { return into + from })
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v, want sentinel", err)
 	}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"asyncagree/internal/registry"
-	"asyncagree/internal/sim"
 	"asyncagree/internal/stats"
+	"asyncagree/internal/stream"
 )
 
 // runE14 measures scheduler sensitivity: the E8/E9 decision-round curves
@@ -52,33 +52,53 @@ func runE14(scale Scale) (Result, error) {
 				continue
 			}
 			for _, pattern := range []string{"ones", "split"} {
-				results, err := RunTrials(trials, func(trial int) (sim.RunResult, error) {
-					seed := uint64(trial + 1)
-					inputs, err := registry.Inputs(pattern, cfg.n, seed)
-					if err != nil {
-						return sim.RunResult{}, err
-					}
-					p := registry.Params{N: cfg.n, T: cfg.t, Seed: seed, Inputs: inputs}
-					return registry.RunPooledTrial(cfg.name, "full", sched, p, maxW)
-				})
+				type e14Acc struct {
+					decided, maxFirst int
+					unsafe            bool
+					windows           stream.Summary
+				}
+				acc, err := ReduceTrials(trials,
+					func() *e14Acc { return &e14Acc{} },
+					func(a *e14Acc, trial int) (*e14Acc, error) {
+						seed := uint64(trial + 1)
+						inputs, err := registry.Inputs(pattern, cfg.n, seed)
+						if err != nil {
+							return a, err
+						}
+						p := registry.Params{N: cfg.n, T: cfg.t, Seed: seed, Inputs: inputs}
+						res, err := registry.RunPooledTrial(cfg.name, "full", sched, p, maxW)
+						if err != nil {
+							return a, err
+						}
+						if !res.Agreement || !res.Validity {
+							a.unsafe = true
+						}
+						if res.AllDecided {
+							a.decided++
+							a.windows.AddInt(res.Windows)
+						}
+						if res.FirstDecision > a.maxFirst {
+							a.maxFirst = res.FirstDecision
+						}
+						return a, nil
+					},
+					func(into, from *e14Acc) *e14Acc {
+						into.decided += from.decided
+						if from.maxFirst > into.maxFirst {
+							into.maxFirst = from.maxFirst
+						}
+						into.unsafe = into.unsafe || from.unsafe
+						into.windows.Merge(&from.windows)
+						return into
+					})
 				if err != nil {
 					return Result{}, err
 				}
-				decided, maxFirst := 0, 0
-				var windows []int
-				for _, res := range results {
-					if !res.Agreement || !res.Validity {
-						pass = false
-					}
-					if res.AllDecided {
-						decided++
-						windows = append(windows, res.Windows)
-					}
-					if res.FirstDecision > maxFirst {
-						maxFirst = res.FirstDecision
-					}
+				if acc.unsafe {
+					pass = false
 				}
-				mean := stats.SummarizeInts(windows).Mean
+				decided, maxFirst := acc.decided, acc.maxFirst
+				mean := acc.windows.Mean()
 				// A discipline with zero decided trials has no meaningful
 				// mean (SummarizeInts yields 0, which would win "fastest");
 				// leave it out of the curve note — the table row and the

@@ -25,6 +25,7 @@ import (
 	"asyncagree/internal/parallel"
 	"asyncagree/internal/sim"
 	"asyncagree/internal/stats"
+	"asyncagree/internal/stream"
 	"asyncagree/internal/talagrand"
 )
 
@@ -96,69 +97,69 @@ func ProjectConfiguration(s *sim.System) (talagrand.Point, error) {
 // (a 1-decision present) in the projected space.
 func DecisionSets(n, t, trials, maxWindows int) (z0, z1 *talagrand.ExplicitSet, err error) {
 	// One independent trial per (seed, adversary) pair, fanned across the
-	// worker pool; membership points are merged in trial order afterwards,
-	// so the sampled sets match the serial loop exactly.
-	type sample struct {
-		point talagrand.Point
-		in0s  []bool // per decided processor: decision == 0?
+	// worker pool; each trial folds its membership point straight into a
+	// block-local set pair and the blocks merge in trial-index order, so
+	// the sampled sets match the serial loop exactly without ever holding
+	// the per-trial sample list.
+	type setPair struct {
+		z0, z1 *talagrand.ExplicitSet
 	}
-	samples, err := parallel.Map(trials*3, func(trial int) (sample, error) {
-		seed := uint64(trial/3 + 1)
-		advPick := trial % 3
-		s, th, err := NewCoreSystem(n, t, seed*17+uint64(advPick))
-		if err != nil {
-			return sample{}, err
-		}
-		var adv sim.WindowAdversary
-		switch advPick {
-		case 0:
-			adv = adversary.FullDelivery{}
-		case 1:
-			adv = adversary.NewRandomWindows(seed, 0.3, t)
-		case 2:
-			adv = NewSplitVote(th)
-		}
-		// Step window by window so the configuration is captured at the
-		// first decision, not at termination.
-		for w := 0; w < maxWindows; w++ {
-			if err := s.ApplyWindowWith(adv); err != nil {
-				return sample{}, err
-			}
-			if s.DecidedCount() == 0 {
-				continue
-			}
-			point, err := ProjectConfiguration(s)
+	acc, err := parallel.Reduce(trials*3,
+		func() setPair {
+			return setPair{z0: talagrand.NewExplicitSet(), z1: talagrand.NewExplicitSet()}
+		},
+		func(a setPair, trial int) (setPair, error) {
+			seed := uint64(trial/3 + 1)
+			advPick := trial % 3
+			s, th, err := NewCoreSystem(n, t, seed*17+uint64(advPick))
 			if err != nil {
-				return sample{}, err
+				return a, err
 			}
-			out := sample{point: point}
-			vals, oks := s.Outputs()
-			for i, ok := range oks {
-				if ok {
-					out.in0s = append(out.in0s, vals[i] == 0)
+			var adv sim.WindowAdversary
+			switch advPick {
+			case 0:
+				adv = adversary.FullDelivery{}
+			case 1:
+				adv = adversary.NewRandomWindows(seed, 0.3, t)
+			case 2:
+				adv = NewSplitVote(th)
+			}
+			// Step window by window so the configuration is captured at the
+			// first decision, not at termination.
+			for w := 0; w < maxWindows; w++ {
+				if err := s.ApplyWindowWith(adv); err != nil {
+					return a, err
 				}
+				if s.DecidedCount() == 0 {
+					continue
+				}
+				point, err := ProjectConfiguration(s)
+				if err != nil {
+					return a, err
+				}
+				vals, oks := s.Outputs()
+				for i, ok := range oks {
+					if ok {
+						if vals[i] == 0 {
+							a.z0.Add(point)
+						} else {
+							a.z1.Add(point)
+						}
+					}
+				}
+				return a, nil
 			}
-			return out, nil
-		}
-		return sample{}, nil
-	})
+			return a, nil // no decision within maxWindows
+		},
+		func(into, from setPair) setPair {
+			into.z0.AddSet(from.z0)
+			into.z1.AddSet(from.z1)
+			return into
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	z0, z1 = talagrand.NewExplicitSet(), talagrand.NewExplicitSet()
-	for _, sm := range samples {
-		if sm.point == nil {
-			continue // no decision within maxWindows
-		}
-		for _, isZero := range sm.in0s {
-			if isZero {
-				z0.Add(sm.point)
-			} else {
-				z1.Add(sm.point)
-			}
-		}
-	}
-	return z0, z1, nil
+	return acc.z0, acc.z1, nil
 }
 
 // SeparationResult reports the measured Hamming separation of the sampled
@@ -195,18 +196,21 @@ func MeasureSeparation(n, t, trials, maxWindows int) (SeparationResult, error) {
 // StallPoint is one (n, t) sample of the exponential-slowness experiment.
 type StallPoint struct {
 	N, T int
-	// Windows holds windows-to-first-decision per trial.
-	Windows []int
+	// Trials is the number of seeds measured.
+	Trials int
 	// GaveUpFraction is the fraction of windows in which the adversary was
 	// beaten (had to deliver everything).
 	GaveUpFraction float64
-	// Summary summarizes Windows.
+	// Summary summarizes the per-trial windows-to-first-decision values
+	// (censored at maxWindows), reduced online.
 	Summary stats.Summary
 }
 
 // StallSeries measures windows-to-first-decision under the split-vote
 // adversary for each n in ns, with t = floor(n*tFrac) (clamped to at least
-// 1), `trials` seeds each, capped at maxWindows.
+// 1), `trials` seeds each, capped at maxWindows. Per-trial measurements are
+// reduced online — memory per point is one accumulator, not a slice — with
+// summaries identical to the historical collect-then-summarize path.
 func StallSeries(ns []int, tFrac float64, trials, maxWindows int) ([]StallPoint, error) {
 	out := make([]StallPoint, 0, len(ns))
 	for _, n := range ns {
@@ -214,39 +218,48 @@ func StallSeries(ns []int, tFrac float64, trials, maxWindows int) ([]StallPoint,
 		if t < 1 {
 			t = 1
 		}
-		type trialOut struct {
-			fd, gaveUp, windows int
+		type stallAcc struct {
+			fds             stream.Summary
+			quantiles       *stream.Reservoir
+			gaveUp, windows int
 		}
-		results, err := parallel.Map(trials, func(trial int) (trialOut, error) {
-			s, th, err := NewCoreSystem(n, t, uint64(trial+1))
-			if err != nil {
-				return trialOut{}, err
-			}
-			adv := NewSplitVote(th)
-			res, err := s.RunWindows(adv, maxWindows)
-			if err != nil {
-				return trialOut{}, err
-			}
-			fd := res.FirstDecision
-			if fd < 0 {
-				fd = maxWindows // censored
-			}
-			return trialOut{fd: fd, gaveUp: adv.GaveUp, windows: adv.Windows}, nil
-		})
+		acc, err := parallel.Reduce(trials,
+			func() *stallAcc { return &stallAcc{quantiles: stream.NewReservoir(0)} },
+			func(a *stallAcc, trial int) (*stallAcc, error) {
+				s, th, err := NewCoreSystem(n, t, uint64(trial+1))
+				if err != nil {
+					return a, err
+				}
+				adv := NewSplitVote(th)
+				res, err := s.RunWindows(adv, maxWindows)
+				if err != nil {
+					return a, err
+				}
+				fd := res.FirstDecision
+				if fd < 0 {
+					fd = maxWindows // censored
+				}
+				a.fds.AddInt(fd)
+				a.quantiles.AddInt(fd)
+				a.gaveUp += adv.GaveUp
+				a.windows += adv.Windows
+				return a, nil
+			},
+			func(into, from *stallAcc) *stallAcc {
+				into.fds.Merge(&from.fds)
+				into.quantiles.Merge(from.quantiles)
+				into.gaveUp += from.gaveUp
+				into.windows += from.windows
+				return into
+			})
 		if err != nil {
 			return nil, err
 		}
-		point := StallPoint{N: n, T: t}
-		gaveUp, windows := 0, 0
-		for _, r := range results {
-			point.Windows = append(point.Windows, r.fd)
-			gaveUp += r.gaveUp
-			windows += r.windows
+		point := StallPoint{N: n, T: t, Trials: acc.fds.Count()}
+		if acc.windows > 0 {
+			point.GaveUpFraction = float64(acc.gaveUp) / float64(acc.windows)
 		}
-		if windows > 0 {
-			point.GaveUpFraction = float64(gaveUp) / float64(windows)
-		}
-		point.Summary = stats.SummarizeInts(point.Windows)
+		point.Summary = stats.FromStream(&acc.fds, acc.quantiles)
 		out = append(out, point)
 	}
 	return out, nil
@@ -265,7 +278,10 @@ func FitGrowth(series []StallPoint) (stats.ExpFit, bool) {
 
 // SurvivalCurve estimates P[no decision within w windows] for each
 // checkpoint w in ws, under the split-vote adversary at (n, t), using
-// `trials` seeds.
+// `trials` seeds. First-decision windows reduce into a bounded histogram
+// (one bucket per window up to the largest checkpoint), so the curve is
+// exact — integer counts, identical to the historical collect-then-count
+// path — with memory O(max w), independent of the trial count.
 func SurvivalCurve(n, t int, ws []int, trials int) ([]float64, error) {
 	maxW := 0
 	for _, w := range ws {
@@ -273,33 +289,34 @@ func SurvivalCurve(n, t int, ws []int, trials int) ([]float64, error) {
 			maxW = w
 		}
 	}
-	firsts, err := parallel.Map(trials, func(trial int) (int, error) {
-		s, th, err := NewCoreSystem(n, t, uint64(trial+1))
-		if err != nil {
-			return 0, err
-		}
-		res, err := s.RunWindows(NewSplitVote(th), maxW)
-		if err != nil {
-			return 0, err
-		}
-		fd := res.FirstDecision
-		if fd < 0 {
-			fd = maxW + 1
-		}
-		return fd, nil
-	})
+	hist, err := parallel.Reduce(trials,
+		func() *stream.Hist { return stream.NewHist(maxW + 2) },
+		func(h *stream.Hist, trial int) (*stream.Hist, error) {
+			s, th, err := NewCoreSystem(n, t, uint64(trial+1))
+			if err != nil {
+				return h, err
+			}
+			res, err := s.RunWindows(NewSplitVote(th), maxW)
+			if err != nil {
+				return h, err
+			}
+			fd := res.FirstDecision
+			if fd < 0 {
+				fd = maxW + 1
+			}
+			h.Add(fd)
+			return h, nil
+		},
+		func(into, from *stream.Hist) *stream.Hist {
+			into.Merge(from)
+			return into
+		})
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(ws))
 	for i, w := range ws {
-		surviving := 0
-		for _, fd := range firsts {
-			if fd >= w {
-				surviving++
-			}
-		}
-		out[i] = float64(surviving) / float64(trials)
+		out[i] = float64(hist.CountAtLeast(w)) / float64(trials)
 	}
 	return out, nil
 }

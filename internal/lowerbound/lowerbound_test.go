@@ -3,7 +3,10 @@ package lowerbound
 import (
 	"testing"
 
+	"asyncagree/internal/adversary"
 	"asyncagree/internal/sim"
+	"asyncagree/internal/stats"
+	"asyncagree/internal/talagrand"
 )
 
 func TestNewCoreSystem(t *testing.T) {
@@ -145,5 +148,156 @@ func TestClassifyCoreVote(t *testing.T) {
 	info := ClassifyCoreVote(sim.Message{Payload: "junk"})
 	if info.HasValue {
 		t.Fatal("junk classified as vote")
+	}
+}
+
+// TestStallSeriesMatchesBatchSummaries is the streaming port's
+// byte-identity guarantee: the online StallSeries summaries equal the
+// historical collect-then-SummarizeInts path, field for field, for every
+// rendered statistic.
+func TestStallSeriesMatchesBatchSummaries(t *testing.T) {
+	const trials, maxW = 12, 200000
+	ns := []int{8, 16}
+	series, err := StallSeries(ns, 1.0/8, trials, maxW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ns {
+		tt := n / 8
+		if tt < 1 {
+			tt = 1
+		}
+		// The reference: a serial collect-then-summarize loop.
+		var fds []int
+		gaveUp, windows := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			s, th, err := NewCoreSystem(n, tt, uint64(trial+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			adv := NewSplitVote(th)
+			res, err := s.RunWindows(adv, maxW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fd := res.FirstDecision
+			if fd < 0 {
+				fd = maxW
+			}
+			fds = append(fds, fd)
+			gaveUp += adv.GaveUp
+			windows += adv.Windows
+		}
+		want := stats.SummarizeInts(fds)
+		if series[i].Summary != want {
+			t.Fatalf("n=%d: streaming summary %+v != batch %+v", n, series[i].Summary, want)
+		}
+		if series[i].Trials != trials {
+			t.Fatalf("n=%d: trials %d", n, series[i].Trials)
+		}
+		wantFrac := 0.0
+		if windows > 0 {
+			wantFrac = float64(gaveUp) / float64(windows)
+		}
+		if series[i].GaveUpFraction != wantFrac {
+			t.Fatalf("n=%d: gave-up fraction %v != %v", n, series[i].GaveUpFraction, wantFrac)
+		}
+	}
+}
+
+// TestSurvivalCurveMatchesBatchCounts: the histogram-reduced curve equals
+// the historical collect-then-count fractions exactly.
+func TestSurvivalCurveMatchesBatchCounts(t *testing.T) {
+	const n, tt, trials = 16, 2, 12
+	ws := []int{1, 5, 20, 80}
+	curve, err := SurvivalCurve(n, tt, ws, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxW := 80
+	var firsts []int
+	for trial := 0; trial < trials; trial++ {
+		s, th, err := NewCoreSystem(n, tt, uint64(trial+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunWindows(NewSplitVote(th), maxW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := res.FirstDecision
+		if fd < 0 {
+			fd = maxW + 1
+		}
+		firsts = append(firsts, fd)
+	}
+	for i, w := range ws {
+		surviving := 0
+		for _, fd := range firsts {
+			if fd >= w {
+				surviving++
+			}
+		}
+		if want := float64(surviving) / float64(trials); curve[i] != want {
+			t.Fatalf("P[survive %d] = %v, want %v", w, curve[i], want)
+		}
+	}
+}
+
+// TestDecisionSetsMatchSerialSampling: the block-reduced set pair equals a
+// serial trial loop's sampling — same cardinalities, same separation.
+func TestDecisionSetsMatchSerialSampling(t *testing.T) {
+	const n, tt, trials, maxW = 12, 1, 8, 3000
+	z0, z1, err := DecisionSets(n, tt, trials, maxW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz0, sz1 := talagrand.NewExplicitSet(), talagrand.NewExplicitSet()
+	for trial := 0; trial < trials*3; trial++ {
+		seed := uint64(trial/3 + 1)
+		advPick := trial % 3
+		s, th, err := NewCoreSystem(n, tt, seed*17+uint64(advPick))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var adv sim.WindowAdversary
+		switch advPick {
+		case 0:
+			adv = adversary.FullDelivery{}
+		case 1:
+			adv = adversary.NewRandomWindows(seed, 0.3, tt)
+		case 2:
+			adv = NewSplitVote(th)
+		}
+		for w := 0; w < maxW; w++ {
+			if err := s.ApplyWindowWith(adv); err != nil {
+				t.Fatal(err)
+			}
+			if s.DecidedCount() == 0 {
+				continue
+			}
+			point, err := ProjectConfiguration(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals, oks := s.Outputs()
+			for i, ok := range oks {
+				if ok {
+					if vals[i] == 0 {
+						sz0.Add(point)
+					} else {
+						sz1.Add(point)
+					}
+				}
+			}
+			break
+		}
+	}
+	if z0.Len() != sz0.Len() || z1.Len() != sz1.Len() {
+		t.Fatalf("streaming sets (%d, %d) != serial (%d, %d)",
+			z0.Len(), z1.Len(), sz0.Len(), sz1.Len())
+	}
+	if talagrand.SetDistance(z0, z1) != talagrand.SetDistance(sz0, sz1) {
+		t.Fatal("set distances diverged")
 	}
 }

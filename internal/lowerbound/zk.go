@@ -168,61 +168,66 @@ type Z1SeparationResult struct {
 // k = 1, on samples.
 func MeasureZ1Separation(n, t, prefixes, maxPrefixLen int, zt ZkTester) (Z1SeparationResult, error) {
 	// Each prefix's membership test replays thousands of independent
-	// continuations — ideal fan-out work for the trial pool. Points are
-	// merged in prefix order so the sampled sets match the serial loop.
-	type membership struct {
-		point    talagrand.Point
-		in0, in1 bool
+	// continuations — ideal fan-out work for the trial pool. Membership
+	// points fold into block-local set pairs merged in prefix order, so the
+	// sampled sets match the serial loop without holding per-prefix samples.
+	type setPair struct {
+		z0, z1 *talagrand.ExplicitSet
 	}
-	samples, err := parallel.Map(prefixes, func(p int) (membership, error) {
-		sch := Schedule{N: n, T: t, SysSeed: uint64(p + 1)}
-		th, err := core.DefaultThresholds(n, t)
-		if err != nil {
-			return membership{}, err
-		}
-		sch.Th = th
-		// Drive the prefix toward decisions with full-delivery windows of
-		// varying length so both decided and undecided configurations are
-		// sampled.
-		length := 1 + p%maxPrefixLen
-		for w := 0; w < length; w++ {
-			sch = sch.Extend(ScheduledWindow{Seed: uint64(p*131 + w*17 + 5)})
-		}
-		s, err := sch.Replay()
-		if err != nil {
-			return membership{}, err
-		}
-		point, err := ProjectConfiguration(s)
-		if err != nil {
-			return membership{}, err
-		}
-		in0, err := zt.InZk(sch, 1, 0)
-		if err != nil {
-			return membership{}, err
-		}
-		in1, err := zt.InZk(sch, 1, 1)
-		if err != nil {
-			return membership{}, err
-		}
-		return membership{point: point, in0: in0, in1: in1}, nil
-	})
+	acc, err := parallel.Reduce(prefixes,
+		func() setPair {
+			return setPair{z0: talagrand.NewExplicitSet(), z1: talagrand.NewExplicitSet()}
+		},
+		func(a setPair, p int) (setPair, error) {
+			sch := Schedule{N: n, T: t, SysSeed: uint64(p + 1)}
+			th, err := core.DefaultThresholds(n, t)
+			if err != nil {
+				return a, err
+			}
+			sch.Th = th
+			// Drive the prefix toward decisions with full-delivery windows of
+			// varying length so both decided and undecided configurations are
+			// sampled.
+			length := 1 + p%maxPrefixLen
+			for w := 0; w < length; w++ {
+				sch = sch.Extend(ScheduledWindow{Seed: uint64(p*131 + w*17 + 5)})
+			}
+			s, err := sch.Replay()
+			if err != nil {
+				return a, err
+			}
+			point, err := ProjectConfiguration(s)
+			if err != nil {
+				return a, err
+			}
+			in0, err := zt.InZk(sch, 1, 0)
+			if err != nil {
+				return a, err
+			}
+			in1, err := zt.InZk(sch, 1, 1)
+			if err != nil {
+				return a, err
+			}
+			if in0 {
+				a.z0.Add(point)
+			}
+			if in1 {
+				a.z1.Add(point)
+			}
+			return a, nil
+		},
+		func(into, from setPair) setPair {
+			into.z0.AddSet(from.z0)
+			into.z1.AddSet(from.z1)
+			return into
+		})
 	if err != nil {
 		return Z1SeparationResult{}, err
 	}
-	z0 := talagrand.NewExplicitSet()
-	z1 := talagrand.NewExplicitSet()
-	for _, sm := range samples {
-		if sm.in0 {
-			z0.Add(sm.point)
-		}
-		if sm.in1 {
-			z1.Add(sm.point)
-		}
-	}
 	res := Z1SeparationResult{
 		N: n, T: t,
-		Z0Size: z0.Len(), Z1Size: z1.Len(),
-		Distance: talagrand.SetDistance(z0, z1),
+		Z0Size: acc.z0.Len(), Z1Size: acc.z1.Len(),
+		Distance: talagrand.SetDistance(acc.z0, acc.z1),
 	}
 	res.Holds = res.Distance < 0 || res.Distance > t
 	return res, nil

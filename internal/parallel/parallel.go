@@ -9,6 +9,12 @@
 // result into its index's slot and, on failure, reporting the error of the
 // lowest-index failing trial — exactly the error a serial loop would have
 // hit first.
+//
+// Map holds all n results at once. The streaming primitives keep memory
+// bounded instead: Stream delivers results to a consumer in strictly
+// increasing index order through a fixed-size reorder window, and Reduce
+// folds results into per-block accumulators merged in index order, so a
+// sweep's footprint is the accumulator, not the result set (DESIGN.md §4).
 package parallel
 
 import (
@@ -80,4 +86,232 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	wg.Wait()
 	return results, firstErr
+}
+
+// Stream runs fn(i) for every i in [0, n) across up to GOMAXPROCS workers
+// and delivers every result to emit in strictly increasing index order —
+// the streaming counterpart of Map for consumers (aggregators, sinks) that
+// must observe results in serial order without holding them all. At most
+// window results are in flight at once (0 selects a default scaled to the
+// worker count): workers stall rather than run further ahead of the
+// emission frontier, so peak buffered memory is O(window), independent of
+// n. emit is never called concurrently.
+//
+// On failure — whether a trial's error or emit's — Stream stops claiming
+// new indices, lets in-flight trials finish, and returns the error of the
+// lowest failing index (for trial errors, exactly the error a serial loop
+// would have hit first). Results are emitted contiguously from index 0, so
+// everything emitted before a failure is the exact prefix a serial loop
+// would have produced — the property checkpoint-based sweep resume relies
+// on.
+func Stream[T any](n, window int, fn func(i int) (T, error), emit func(i int, v T) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			if err := emit(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if window <= 0 {
+		window = 4 * workers
+		if window < 16 {
+			window = 16
+		}
+	}
+
+	type slot[U any] struct {
+		v    U
+		done bool
+	}
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		buf      = make([]slot[T], window)
+		next     = 0 // next index to claim
+		frontier = 0 // next index to emit
+		emitting = false
+		failed   = false
+		errIndex = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) { // callers hold mu
+		if i < errIndex {
+			errIndex, firstErr = i, err
+		}
+		failed = true
+		cond.Broadcast()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for !failed && next < n && next-frontier >= window {
+					cond.Wait()
+				}
+				if failed || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				v, err := fn(i)
+
+				mu.Lock()
+				if err != nil {
+					fail(i, err)
+					mu.Unlock()
+					return
+				}
+				buf[i%window] = slot[T]{v: v, done: true}
+				if i != frontier || emitting {
+					// Not this worker's turn to drain; whoever completes (or
+					// is already draining) the frontier picks this result up.
+					cond.Broadcast()
+					mu.Unlock()
+					continue
+				}
+				emitting = true
+				for !failed && frontier < n && buf[frontier%window].done {
+					j := frontier
+					val := buf[j%window].v
+					buf[j%window] = slot[T]{}
+					frontier++
+					cond.Broadcast() // free the window slot for waiting claimers
+					mu.Unlock()
+					emitErr := emit(j, val)
+					mu.Lock()
+					if emitErr != nil {
+						fail(j, emitErr)
+						break
+					}
+				}
+				emitting = false
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// reduceMaxBlocks is the fixed upper bound on Reduce's block count. It
+// depends only on the input size — never on GOMAXPROCS — so the block
+// partition, and therefore the merge tree and its floating-point rounding,
+// is identical on every machine.
+const reduceMaxBlocks = 64
+
+// Reduce runs fn(acc, i) for every i in [0, n), folding into per-block
+// accumulators that are merged in block index order, and returns the merged
+// accumulator — the streaming counterpart of Map-then-fold for trial loops
+// whose aggregate is an online accumulator (stream.Summary and friends)
+// rather than a result slice. Memory is O(blocks), independent of n.
+//
+// The index range is split into at most reduceMaxBlocks contiguous blocks —
+// a pure function of n, never of the worker count — each folded serially in
+// index order by one worker, then merged left to right. With the
+// order-deterministic Merge operations of internal/stream the reduction is
+// therefore byte-identical run to run and machine to machine, and matches
+// the serial loop exactly for every integer-exact statistic (counts, sums,
+// min/max, integer-sample means); see the stream package doc for the
+// floating-point contract of the variance term.
+//
+// newAcc must return a fresh accumulator; fold folds observation i into acc
+// and returns it; merge appends from's observations after into's and
+// returns the result. fold errors surface as in Map: the lowest failing
+// index wins, and no partial accumulator is returned.
+func Reduce[A any](n int, newAcc func() A, fold func(acc A, i int) (A, error), merge func(into, from A) A) (A, error) {
+	if n == 0 {
+		return newAcc(), nil
+	}
+	blocks := n
+	if blocks > reduceMaxBlocks {
+		blocks = reduceMaxBlocks
+	}
+	accs := make([]A, blocks)
+	blockErrs := make([]error, blocks)
+	errIndexes := make([]int, blocks)
+	runBlock := func(b int) {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		acc := newAcc()
+		for i := lo; i < hi; i++ {
+			var err error
+			acc, err = fold(acc, i)
+			if err != nil {
+				blockErrs[b], errIndexes[b] = err, i
+				return
+			}
+		}
+		accs[b] = acc
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		for b := 0; b < blocks; b++ {
+			runBlock(b)
+			if blockErrs[b] != nil {
+				break
+			}
+		}
+	} else {
+		var (
+			next   atomic.Int64
+			failed atomic.Bool
+			wg     sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !failed.Load() {
+					b := int(next.Add(1)) - 1
+					if b >= blocks {
+						return
+					}
+					runBlock(b)
+					if blockErrs[b] != nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var firstErr error
+	errIndex := n
+	for b := 0; b < blocks; b++ {
+		if blockErrs[b] != nil && errIndexes[b] < errIndex {
+			errIndex, firstErr = errIndexes[b], blockErrs[b]
+		}
+	}
+	if firstErr != nil {
+		return newAcc(), firstErr
+	}
+	out := accs[0]
+	for b := 1; b < blocks; b++ {
+		out = merge(out, accs[b])
+	}
+	return out, nil
 }

@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -40,5 +41,173 @@ func TestMapZeroTrials(t *testing.T) {
 	got, err := Map(0, func(i int) (int, error) { return 0, errors.New("never called") })
 	if err != nil || len(got) != 0 {
 		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestStreamEmitsInIndexOrder is Stream's core contract: emission is the
+// serial order whatever the completion order, run after run.
+func TestStreamEmitsInIndexOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		var emitted []int
+		err := Stream(500, 0, func(i int) (int, error) {
+			return i * 3, nil
+		}, func(i, v int) error {
+			if v != i*3 {
+				t.Fatalf("emit(%d) got %d", i, v)
+			}
+			emitted = append(emitted, i)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(emitted) != 500 {
+			t.Fatalf("emitted %d results", len(emitted))
+		}
+		for i, v := range emitted {
+			if v != i {
+				t.Fatalf("emission order broken at %d: %v", i, emitted[:i+1])
+			}
+		}
+	}
+}
+
+// TestStreamBoundedWindow checks workers never run more than the window
+// ahead of the emission frontier — the O(window) memory guarantee.
+func TestStreamBoundedWindow(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs a second worker to advance past the stalled frontier")
+	}
+	const window = 4
+	block := make(chan struct{})
+	err := Stream(64, window, func(i int) (int, error) {
+		if i == 0 {
+			<-block // stall the frontier; claims beyond the window must wait
+		}
+		if i >= window {
+			select {
+			case <-block:
+			default:
+				t.Errorf("trial %d claimed while frontier stalled at 0", i)
+			}
+		}
+		if i == window-1 {
+			close(block)
+		}
+		return i, nil
+	}, func(i, v int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamErrorKeepsPrefix pins the resume property: on failure,
+// everything emitted is exactly the contiguous prefix below the lowest
+// failing index.
+func TestStreamErrorKeepsPrefix(t *testing.T) {
+	sentinel := errors.New("boom")
+	for trial := 0; trial < 20; trial++ {
+		var emitted []int
+		err := Stream(64, 8, func(i int) (int, error) {
+			if i == 19 || i == 40 {
+				return 0, fmt.Errorf("%w at %d", sentinel, i)
+			}
+			return i, nil
+		}, func(i, v int) error {
+			emitted = append(emitted, i)
+			return nil
+		})
+		if !errors.Is(err, sentinel) || err.Error() != "boom at 19" {
+			t.Fatalf("err = %v, want the lowest-index failure", err)
+		}
+		if len(emitted) > 19 {
+			t.Fatalf("emitted past the failing index: %v", emitted)
+		}
+		for i, v := range emitted {
+			if v != i {
+				t.Fatalf("emitted prefix not contiguous: %v", emitted)
+			}
+		}
+	}
+}
+
+// TestStreamEmitErrorStops: a sink failure aborts the stream and surfaces.
+func TestStreamEmitErrorStops(t *testing.T) {
+	sentinel := errors.New("sink full")
+	count := 0
+	err := Stream(100, 4, func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			count++
+			if i == 10 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 11 {
+		t.Fatalf("emit called %d times, want 11", count)
+	}
+}
+
+// TestReduceMatchesSerialFold: with merge-compatible accumulators the
+// parallel reduction equals the serial fold exactly for integer sums, and
+// is identical run to run.
+func TestReduceMatchesSerialFold(t *testing.T) {
+	type acc struct {
+		n   int
+		sum int
+	}
+	newAcc := func() *acc { return &acc{} }
+	fold := func(a *acc, i int) (*acc, error) {
+		a.n++
+		a.sum += i * i
+		return a, nil
+	}
+	merge := func(into, from *acc) *acc {
+		into.n += from.n
+		into.sum += from.sum
+		return into
+	}
+	want := 0
+	for i := 0; i < 10_000; i++ {
+		want += i * i
+	}
+	for trial := 0; trial < 10; trial++ {
+		got, err := Reduce(10_000, newAcc, fold, merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.n != 10_000 || got.sum != want {
+			t.Fatalf("reduce = %+v, want sum %d", got, want)
+		}
+	}
+	// Small n (fewer indices than blocks) still covers everything once.
+	got, err := Reduce(3, newAcc, fold, merge)
+	if err != nil || got.n != 3 || got.sum != 0+1+4 {
+		t.Fatalf("small reduce = %+v, %v", got, err)
+	}
+	empty, err := Reduce(0, newAcc, fold, merge)
+	if err != nil || empty.n != 0 {
+		t.Fatalf("empty reduce = %+v, %v", empty, err)
+	}
+}
+
+// TestReduceReturnsLowestIndexError mirrors Map's error semantics.
+func TestReduceReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for trial := 0; trial < 20; trial++ {
+		_, err := Reduce(256, func() int { return 0 },
+			func(a, i int) (int, error) {
+				if i == 33 || i == 200 {
+					return 0, fmt.Errorf("%w at %d", sentinel, i)
+				}
+				return a + 1, nil
+			},
+			func(into, from int) int { return into + from })
+		if !errors.Is(err, sentinel) || err.Error() != "boom at 33" {
+			t.Fatalf("err = %v, want the lowest-index failure", err)
+		}
 	}
 }

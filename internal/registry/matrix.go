@@ -1,7 +1,9 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"asyncagree/internal/parallel"
 	"asyncagree/internal/sim"
@@ -114,9 +116,16 @@ type trialSpec struct {
 	maxWindows int
 }
 
-// expand resolves defaults and produces the deterministic cell and trial
-// lists, plus the skip records.
-func (m Matrix) expand() (cells []Cell, trials []trialSpec, sweep *Sweep, err error) {
+// key renders the trial's stable identity. It delegates to
+// TrialRecord.Key so exactly one key format exists — the checkpoint-prefix
+// verification in RunWith depends on the two staying byte-identical.
+func (ts trialSpec) key() string {
+	return newTrialRecord(0, ts, sim.RunResult{}).Key()
+}
+
+// resolve fills empty axes with their defaults, returning the fully
+// explicit matrix every expansion-order computation works from.
+func (m Matrix) resolve() Matrix {
 	if len(m.Algorithms) == 0 {
 		m.Algorithms = AlgorithmNames()
 	}
@@ -139,27 +148,66 @@ func (m Matrix) expand() (cells []Cell, trials []trialSpec, sweep *Sweep, err er
 	if m.MaxWindows <= 0 {
 		m.MaxWindows = def.MaxWindows
 	}
+	return m
+}
 
+// GridSignature renders the resolved grid as a canonical one-line string.
+// Checkpoint files record it so a resume against different axes (which
+// would silently misalign trial indices) is rejected instead of merged.
+func (m Matrix) GridSignature() string {
+	m = m.resolve()
+	var b strings.Builder
+	join := func(label string, parts []string) {
+		b.WriteString(label)
+		b.WriteByte('=')
+		b.WriteString(strings.Join(parts, ","))
+		b.WriteByte(' ')
+	}
+	join("algs", m.Algorithms)
+	join("advs", m.Adversaries)
+	join("scheds", m.Schedulers)
+	sizes := make([]string, len(m.Sizes))
+	for i, s := range m.Sizes {
+		sizes[i] = s.String()
+	}
+	join("sizes", sizes)
+	join("inputs", m.Inputs)
+	seeds := make([]string, len(m.Seeds))
+	for i, s := range m.Seeds {
+		seeds[i] = fmt.Sprintf("%d", s)
+	}
+	join("seeds", seeds)
+	fmt.Fprintf(&b, "max-windows=%d", m.MaxWindows)
+	return b.String()
+}
+
+// expand resolves defaults and produces the deterministic cell list and the
+// skip records. Trials are never materialized: trial i is derived on demand
+// from the cell list (cells[i/len(Seeds)], seed Seeds[i%len(Seeds)]), so the
+// sweep's retained state is O(cells) regardless of the seed count. The
+// returned Matrix is the resolved grid the trial derivation indexes into.
+func (m Matrix) expand() (cells []Cell, resolved Matrix, sweep *Sweep, err error) {
+	m = m.resolve()
 	sweep = &Sweep{}
 	for _, pattern := range m.Inputs {
 		if _, err := Inputs(pattern, 1, 1); err != nil {
-			return nil, nil, nil, err
+			return nil, m, nil, err
 		}
 	}
 	for _, algName := range m.Algorithms {
 		alg, err := LookupAlgorithm(algName)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, m, nil, err
 		}
 		for _, advName := range m.Adversaries {
 			adv, err := LookupAdversary(advName)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, m, nil, err
 			}
 			for _, schedName := range m.Schedulers {
 				sch, err := LookupScheduler(schedName)
 				if err != nil {
-					return nil, nil, nil, err
+					return nil, m, nil, err
 				}
 				for _, size := range m.Sizes {
 					p := Params{N: size.N, T: size.T}
@@ -186,21 +234,40 @@ func (m Matrix) expand() (cells []Cell, trials []trialSpec, sweep *Sweep, err er
 						continue
 					}
 					for _, pattern := range m.Inputs {
-						cell := Cell{Algorithm: algName, Adversary: advName,
-							Scheduler: schedName, Input: pattern, Size: size}
-						idx := len(cells)
-						cells = append(cells, cell)
-						for _, seed := range m.Seeds {
-							trials = append(trials, trialSpec{
-								cell: idx, Cell: cell, seed: seed, maxWindows: m.MaxWindows,
-							})
-						}
+						cells = append(cells, Cell{Algorithm: algName, Adversary: advName,
+							Scheduler: schedName, Input: pattern, Size: size})
 					}
 				}
 			}
 		}
 	}
-	return cells, trials, sweep, nil
+	return cells, m, sweep, nil
+}
+
+// specAt derives trial i of the expanded grid: seeds iterate innermost per
+// cell, matching the historical materialized expansion order. m must be the
+// resolved matrix returned by expand.
+func (m Matrix) specAt(cells []Cell, i int) trialSpec {
+	s := len(m.Seeds)
+	return trialSpec{
+		cell: i / s, Cell: cells[i/s],
+		seed: m.Seeds[i%s], maxWindows: m.MaxWindows,
+	}
+}
+
+// allSpecs materializes every trial spec in expansion order. The streaming
+// pipeline never calls this (trials are derived one at a time by specAt);
+// it exists for equivalence tests that iterate the trial list directly.
+func (m Matrix) allSpecs() ([]trialSpec, error) {
+	cells, resolved, _, err := m.expand()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]trialSpec, 0, len(cells)*len(resolved.Seeds))
+	for i := 0; i < len(cells)*len(resolved.Seeds); i++ {
+		specs = append(specs, resolved.specAt(cells, i))
+	}
+	return specs, nil
 }
 
 // runTrial executes one expanded trial through the pooled engine: acquire
@@ -236,79 +303,198 @@ func runTrialFresh(ts trialSpec) (sim.RunResult, error) {
 	return sys.RunWindows(adv, ts.maxWindows)
 }
 
-// mapFn abstracts over the parallel and serial trial runners so both paths
-// share expansion and aggregation verbatim.
-type mapFn func(n int, fn func(i int) (sim.RunResult, error)) ([]sim.RunResult, error)
+// ErrInterrupted is returned by RunWith when RunOptions.Stop requested a
+// clean stop: everything emitted so far is a consistent index-order prefix
+// (already flushed through the sinks), and a resumed run completes the rest
+// with output identical to an uninterrupted one.
+var ErrInterrupted = errors.New("registry: sweep interrupted")
 
-func serialMap(n int, fn func(i int) (sim.RunResult, error)) ([]sim.RunResult, error) {
-	out := make([]sim.RunResult, n)
-	for i := 0; i < n; i++ {
-		r, err := fn(i)
-		if err != nil {
-			return out, err
-		}
-		out[i] = r
-	}
-	return out, nil
+// RunOptions configures the streaming result pipeline of Matrix.RunWith.
+// The zero value reproduces Matrix.Run exactly.
+type RunOptions struct {
+	// Sinks receive every completed live trial in index order, then a
+	// final Flush (also on error/interrupt, so partial work is never
+	// dropped). Replayed Resume records do not re-enter the sinks — their
+	// bytes are already in the sink outputs of the interrupted run.
+	Sinks []ResultSink
+	// Resume holds the completed-trial prefix of an earlier interrupted
+	// run (loaded from its checkpoint). Records must match the expanded
+	// grid's leading trial keys exactly — RunWith re-verifies and fails on
+	// mismatch — and their results flow through aggregation (not the
+	// sinks) instead of re-executing the trials.
+	Resume []TrialRecord
+	// Stop is polled on the serial emission path after every emitted
+	// trial, and again before each trial starts (workers may already have
+	// claimed up to a reorder window of trials when it first returns
+	// true); returning true stops the sweep cleanly with ErrInterrupted
+	// once in-flight trials drain. Everything emitted before the stop is
+	// already in the sinks.
+	Stop func() bool
+	// Progress, if set, observes the emission frontier after every trial:
+	// done trials out of total. It runs on the serial emission path —
+	// keep it cheap.
+	Progress func(done, total int)
+	// Serial runs the trials on a plain serial loop instead of the worker
+	// pool (byte-identical output, used by determinism tests and -serial).
+	Serial bool
+
+	// trialFn overrides the trial executor (the pooled engine by default);
+	// recycle tests substitute the construct-per-trial reference path.
+	trialFn func(trialSpec) (sim.RunResult, error)
 }
 
-// Run expands the matrix and fans the trials across the deterministic
-// worker pool. The aggregated output is byte-identical to RunSerial: every
-// trial derives all randomness from its seed, draws a private (pooled or
-// fresh — indistinguishable) system + adversary state, and lands its result
-// in its own index slot.
-func (m Matrix) Run() (*Sweep, error) { return m.run(parallel.Map[sim.RunResult], runTrial) }
+// cellAgg folds trial results into per-cell aggregates online — the O(cells)
+// state that replaces the historical O(trials) result slice. The arithmetic
+// is integer until the final mean division, so aggregation is byte-identical
+// under any emission interleaving (emission is index-ordered anyway).
+type cellAgg struct {
+	sweep      *Sweep
+	windowSums []int
+}
 
-// RunSerial runs the same sweep on a plain serial loop. It exists to make
-// the parallel path's determinism testable and to time parallel speedups.
-func (m Matrix) RunSerial() (*Sweep, error) { return m.run(serialMap, runTrial) }
-
-// runFresh runs the sweep serially through the construct-per-trial
-// reference path (no pooling); recycle tests compare it against Run.
-func (m Matrix) runFresh() (*Sweep, error) { return m.run(serialMap, runTrialFresh) }
-
-func (m Matrix) run(runAll mapFn, trial func(trialSpec) (sim.RunResult, error)) (*Sweep, error) {
-	cells, trials, sweep, err := m.expand()
-	if err != nil {
-		return nil, err
-	}
-	results, err := runAll(len(trials), func(i int) (sim.RunResult, error) {
-		return trial(trials[i])
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	sweep.TrialCount = len(trials)
+func newCellAgg(sweep *Sweep, cells []Cell) *cellAgg {
 	sweep.Cells = make([]CellResult, len(cells))
 	for i, c := range cells {
 		sweep.Cells[i] = CellResult{Cell: c}
 	}
-	windowSums := make([]int, len(cells))
-	for i, ts := range trials {
-		res := results[i]
-		cr := &sweep.Cells[ts.cell]
-		cr.Trials++
-		if res.AllDecided {
-			cr.Decided++
-			windowSums[ts.cell] += res.Windows
-		}
-		if !res.Agreement {
-			cr.AgreeViol++
-		}
-		if !res.Validity {
-			cr.ValidViol++
-		}
-		if res.MaxChainDepth > cr.MaxChain {
-			cr.MaxChain = res.MaxChainDepth
+	return &cellAgg{sweep: sweep, windowSums: make([]int, len(cells))}
+}
+
+func (a *cellAgg) consume(cell int, res sim.RunResult) {
+	cr := &a.sweep.Cells[cell]
+	cr.Trials++
+	if res.AllDecided {
+		cr.Decided++
+		a.windowSums[cell] += res.Windows
+	}
+	if !res.Agreement {
+		cr.AgreeViol++
+	}
+	if !res.Validity {
+		cr.ValidViol++
+	}
+	if res.MaxChainDepth > cr.MaxChain {
+		cr.MaxChain = res.MaxChainDepth
+	}
+}
+
+func (a *cellAgg) finalize() {
+	for i := range a.sweep.Cells {
+		if d := a.sweep.Cells[i].Decided; d > 0 {
+			a.sweep.Cells[i].MeanWindows = float64(a.windowSums[i]) / float64(d)
 		}
 	}
-	for i := range sweep.Cells {
-		if d := sweep.Cells[i].Decided; d > 0 {
-			sweep.Cells[i].MeanWindows = float64(windowSums[i]) / float64(d)
+}
+
+// Run expands the matrix and fans the trials across the deterministic
+// worker pool, reducing per-cell aggregates online. The output is
+// byte-identical to RunSerial: every trial derives all randomness from its
+// seed, draws a private (pooled or fresh — indistinguishable) system +
+// adversary state, and is delivered to the aggregator in trial-index order.
+func (m Matrix) Run() (*Sweep, error) { return m.RunWith(RunOptions{}) }
+
+// RunSerial runs the same sweep on a plain serial loop. It exists to make
+// the parallel path's determinism testable and to time parallel speedups.
+func (m Matrix) RunSerial() (*Sweep, error) { return m.RunWith(RunOptions{Serial: true}) }
+
+// runFresh runs the sweep serially through the construct-per-trial
+// reference path (no pooling); recycle tests compare it against Run.
+func (m Matrix) runFresh() (*Sweep, error) {
+	return m.RunWith(RunOptions{Serial: true, trialFn: runTrialFresh})
+}
+
+// RunWith expands the matrix and streams every trial through the result
+// pipeline: trials execute across the worker pool (or serially), results
+// are delivered in strictly increasing trial-index order to the per-cell
+// online aggregator and the configured sinks, and peak retained result
+// memory is O(cells) + the pool's bounded reorder window — independent of
+// the trial count. See RunOptions for resume, interruption, and progress.
+func (m Matrix) RunWith(opts RunOptions) (*Sweep, error) {
+	cells, resolved, sweep, err := m.expand()
+	if err != nil {
+		return nil, err
+	}
+	total := len(cells) * len(resolved.Seeds)
+	if len(opts.Resume) > total {
+		return nil, fmt.Errorf("registry: checkpoint has %d trials, grid only %d", len(opts.Resume), total)
+	}
+	for i, rec := range opts.Resume {
+		if want := resolved.specAt(cells, i).key(); rec.Key() != want {
+			return nil, fmt.Errorf("registry: checkpoint trial %d is %q, grid expects %q (was the grid changed?)",
+				i, rec.Key(), want)
 		}
 	}
+	trial := opts.trialFn
+	if trial == nil {
+		trial = runTrial
+	}
+
+	agg := newCellAgg(sweep, cells)
+	fn := func(i int) (sim.RunResult, error) {
+		if opts.Stop != nil && opts.Stop() {
+			return sim.RunResult{}, ErrInterrupted
+		}
+		if i < len(opts.Resume) {
+			return opts.Resume[i].Result(), nil
+		}
+		return trial(resolved.specAt(cells, i))
+	}
+	emit := func(i int, res sim.RunResult) error {
+		agg.consume(i/len(resolved.Seeds), res)
+		if i >= len(opts.Resume) {
+			rec := newTrialRecord(i, resolved.specAt(cells, i), res)
+			for _, sink := range opts.Sinks {
+				if err := sink.Consume(rec); err != nil {
+					return err
+				}
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(i+1, total)
+		}
+		// The emission-path check is what makes completed-count stop
+		// conditions (cmd/sweep -interrupt-after, and SIGINT observed
+		// between emissions) fire deterministically: the claim-time check
+		// alone can lag a full reorder window behind on parallel runs.
+		if opts.Stop != nil && opts.Stop() {
+			return ErrInterrupted
+		}
+		return nil
+	}
+
+	if opts.Serial {
+		err = serialStream(total, fn, emit)
+	} else {
+		err = parallel.Stream(total, 0, fn, emit)
+	}
+	// Flush even on error/interrupt: everything emitted is a consistent
+	// prefix and must reach disk for resume.
+	for _, sink := range opts.Sinks {
+		if ferr := sink.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	sweep.TrialCount = total
+	agg.finalize()
 	return sweep, nil
+}
+
+// serialStream is the serial reference loop for the streaming pipeline —
+// the same fn/emit contract as parallel.Stream on a plain loop.
+func serialStream(n int, fn func(int) (sim.RunResult, error), emit func(int, sim.RunResult) error) error {
+	for i := 0; i < n; i++ {
+		res, err := fn(i)
+		if err != nil {
+			return err
+		}
+		if err := emit(i, res); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table renders the sweep as an aligned text table in expansion order.

@@ -130,7 +130,7 @@ func TestMatrixExpansion(t *testing.T) {
 		Seeds:       []uint64{1},
 		MaxWindows:  100,
 	}
-	cells, trials, sweep, err := m.expand()
+	cells, resolved, sweep, err := m.expand()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,8 +144,15 @@ func TestMatrixExpansion(t *testing.T) {
 			t.Fatalf("unexpected cell %+v", c)
 		}
 	}
-	if len(trials) != 2 {
-		t.Fatalf("trials = %+v", trials)
+	if total := len(cells) * len(resolved.Seeds); total != 2 {
+		t.Fatalf("total trials = %d, want 2", total)
+	}
+	// Trial derivation is seeds-innermost: trial i belongs to cell i/len(Seeds).
+	for i := 0; i < len(cells)*len(resolved.Seeds); i++ {
+		ts := resolved.specAt(cells, i)
+		if ts.Cell != cells[i/len(resolved.Seeds)] || ts.seed != resolved.Seeds[i%len(resolved.Seeds)] {
+			t.Fatalf("specAt(%d) = %+v", i, ts)
+		}
 	}
 	// Invalid sizes recorded once per algorithm, not once per adversary.
 	if len(sweep.Skipped) != 3 {
@@ -171,14 +178,14 @@ func TestMatrixSchedulerAxisExpansion(t *testing.T) {
 		Seeds:       []uint64{1},
 		MaxWindows:  100,
 	}
-	cells, trials, sweep, err := m.expand()
+	cells, resolved, sweep, err := m.expand()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// core×full pairs with all 6 schedulers; core×splitvote only with
 	// "adversary" (the other 5 would override its sender sets).
-	if len(cells) != 7 || len(trials) != 7 {
-		t.Fatalf("cells = %d, trials = %d, want 7 and 7: %+v", len(cells), len(trials), cells)
+	if total := len(cells) * len(resolved.Seeds); len(cells) != 7 || total != 7 {
+		t.Fatalf("cells = %d, trials = %d, want 7 and 7: %+v", len(cells), total, cells)
 	}
 	for _, c := range cells {
 		if c.Adversary == "splitvote" && c.Scheduler != "adversary" {

@@ -1,0 +1,9 @@
+//go:build race
+
+package registry
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The peak-memory assertion skips there: the race runtime's
+// shadow memory and deliberate sync.Pool randomization make heap readings
+// unrepresentative of the production allocator.
+const raceEnabled = true

@@ -40,7 +40,7 @@ func TestRecycledTrialMatchesFresh(t *testing.T) {
 		Seeds:      []uint64{3},
 		MaxWindows: 400,
 	}
-	_, trials, _, err := small.expand()
+	trials, err := small.allSpecs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestRecycledTrialMatchesFresh(t *testing.T) {
 		Seeds:      []uint64{3},
 		MaxWindows: 400,
 	}
-	_, committeeTrials, _, err := committee.expand()
+	committeeTrials, err := committee.allSpecs()
 	if err != nil {
 		t.Fatal(err)
 	}

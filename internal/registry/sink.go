@@ -1,0 +1,230 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"asyncagree/internal/sim"
+)
+
+// TrialRecord is the unit of the streaming result pipeline: one completed
+// trial's coordinates and outcome. It is what sinks consume, what the
+// JSONL/CSV exports serialize, and what checkpoint files round-trip — the
+// record carries the full sim.RunResult, so a resumed sweep can replay
+// completed trials through aggregation without re-executing them.
+type TrialRecord struct {
+	// Index is the trial's position in grid expansion order; emission and
+	// checkpoints are strictly Index-ordered.
+	Index int `json:"index"`
+	// Algorithm is the registry key of the trial's algorithm.
+	Algorithm string `json:"algorithm"`
+	// Adversary is the registry key of the trial's adversary.
+	Adversary string `json:"adversary"`
+	// Scheduler is the registry key of the trial's delivery scheduler.
+	Scheduler string `json:"scheduler"`
+	// Input is the registry key of the trial's input pattern.
+	Input string `json:"input"`
+	// N is the cell's processor count.
+	N int `json:"n"`
+	// T is the cell's fault budget.
+	T int `json:"t"`
+	// Seed is the trial's seed.
+	Seed uint64 `json:"seed"`
+	// Windows mirrors sim.RunResult.Windows.
+	Windows int `json:"windows"`
+	// FirstDecision mirrors sim.RunResult.FirstDecision.
+	FirstDecision int `json:"first_decision"`
+	// AllDecided mirrors sim.RunResult.AllDecided.
+	AllDecided bool `json:"all_decided"`
+	// Agreement mirrors sim.RunResult.Agreement.
+	Agreement bool `json:"agreement"`
+	// Validity mirrors sim.RunResult.Validity.
+	Validity bool `json:"validity"`
+	// Decision mirrors sim.RunResult.Decision.
+	Decision int `json:"decision"`
+	// MaxChain mirrors sim.RunResult.MaxChainDepth.
+	MaxChain int `json:"max_chain"`
+}
+
+// newTrialRecord assembles the record of one completed trial.
+func newTrialRecord(index int, ts trialSpec, res sim.RunResult) TrialRecord {
+	return TrialRecord{
+		Index:     index,
+		Algorithm: ts.Algorithm, Adversary: ts.Adversary,
+		Scheduler: ts.Scheduler, Input: ts.Input,
+		N: ts.Size.N, T: ts.Size.T, Seed: ts.seed,
+		Windows: res.Windows, FirstDecision: res.FirstDecision,
+		AllDecided: res.AllDecided, Agreement: res.Agreement,
+		Validity: res.Validity, Decision: int(res.Decision),
+		MaxChain: res.MaxChainDepth,
+	}
+}
+
+// Key renders the record's stable trial identity, matching trialSpec.key.
+func (r TrialRecord) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%d:%d#%d",
+		r.Algorithm, r.Adversary, r.Scheduler, r.Input, r.N, r.T, r.Seed)
+}
+
+// Result reconstructs the sim.RunResult the record was built from.
+func (r TrialRecord) Result() sim.RunResult {
+	return sim.RunResult{
+		Windows: r.Windows, FirstDecision: r.FirstDecision,
+		AllDecided: r.AllDecided, Agreement: r.Agreement,
+		Validity: r.Validity, Decision: sim.Bit(r.Decision),
+		MaxChainDepth: r.MaxChain,
+	}
+}
+
+// ResultSink consumes completed trials in strictly increasing Index order.
+// Matrix.RunWith calls Consume on the serial emission path (never
+// concurrently) and Flush exactly once at the end of the run — including
+// interrupted and failed runs, so everything consumed is durable.
+type ResultSink interface {
+	// Consume accepts the next completed trial; an error aborts the sweep
+	// (surfaced like a failing trial at that index).
+	Consume(TrialRecord) error
+	// Flush makes everything consumed durable.
+	Flush() error
+}
+
+// JSONLSink streams records as one JSON object per line — the machine-
+// readable sweep export and the checkpoint body format.
+type JSONLSink struct {
+	w *bufio.Writer
+}
+
+// NewJSONLSink wraps w in a buffered JSONL record writer.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: bufio.NewWriter(w)} }
+
+// Consume implements ResultSink.
+func (s *JSONLSink) Consume(rec TrialRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = s.w.Write(b)
+	return err
+}
+
+// Flush implements ResultSink.
+func (s *JSONLSink) Flush() error { return s.w.Flush() }
+
+// csvHeader is the CSVSink column order (one column per TrialRecord field).
+var csvHeader = []string{"index", "algorithm", "adversary", "scheduler", "input",
+	"n", "t", "seed", "windows", "first_decision", "all_decided", "agreement",
+	"validity", "decision", "max_chain"}
+
+// CSVSink streams records as comma-separated rows under a fixed header.
+type CSVSink struct {
+	w           *bufio.Writer
+	wroteHeader bool
+}
+
+// NewCSVSink wraps w in a buffered CSV record writer; the header row is
+// written before the first record.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: bufio.NewWriter(w)} }
+
+// SkipHeader marks the header as already present — used when appending to
+// a partially written file on resume.
+func (s *CSVSink) SkipHeader() { s.wroteHeader = true }
+
+// Consume implements ResultSink.
+func (s *CSVSink) Consume(rec TrialRecord) error {
+	if !s.wroteHeader {
+		if _, err := s.w.WriteString(strings.Join(csvHeader, ",") + "\n"); err != nil {
+			return err
+		}
+		s.wroteHeader = true
+	}
+	row := []string{
+		strconv.Itoa(rec.Index), rec.Algorithm, rec.Adversary, rec.Scheduler, rec.Input,
+		strconv.Itoa(rec.N), strconv.Itoa(rec.T), strconv.FormatUint(rec.Seed, 10),
+		strconv.Itoa(rec.Windows), strconv.Itoa(rec.FirstDecision),
+		strconv.FormatBool(rec.AllDecided), strconv.FormatBool(rec.Agreement),
+		strconv.FormatBool(rec.Validity), strconv.Itoa(rec.Decision),
+		strconv.Itoa(rec.MaxChain),
+	}
+	_, err := s.w.WriteString(strings.Join(row, ",") + "\n")
+	return err
+}
+
+// Flush implements ResultSink.
+func (s *CSVSink) Flush() error { return s.w.Flush() }
+
+// checkpointHeader is the first line of a checkpoint file: the resolved
+// grid signature it was recorded against plus a format version.
+type checkpointHeader struct {
+	Version int    `json:"version"`
+	Grid    string `json:"grid"`
+}
+
+const checkpointVersion = 1
+
+// WriteCheckpointHeader starts a checkpoint stream: the header line, after
+// which every completed trial is appended as a JSONL TrialRecord (a
+// JSONLSink over the same writer).
+func WriteCheckpointHeader(w io.Writer, grid string) error {
+	b, err := json.Marshal(checkpointHeader{Version: checkpointVersion, Grid: grid})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// LoadCheckpoint reads the completed-trial prefix recorded in a checkpoint
+// file. A missing file yields (nil, nil) — a fresh run. A grid signature
+// mismatch is an error: the trial indices of a different grid would not
+// line up. A torn final line (the run was killed mid-write) is discarded;
+// everything before it is the durable prefix. Records must be the
+// contiguous Index prefix 0..k-1 the index-ordered emission guarantees.
+func LoadCheckpoint(path, grid string) ([]TrialRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, nil // empty file: treat as fresh
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("registry: %s: bad checkpoint header: %w", path, err)
+	}
+	if hdr.Version != checkpointVersion {
+		return nil, fmt.Errorf("registry: %s: checkpoint version %d, want %d", path, hdr.Version, checkpointVersion)
+	}
+	if hdr.Grid != grid {
+		return nil, fmt.Errorf("registry: %s: checkpoint grid %q does not match current grid %q",
+			path, hdr.Grid, grid)
+	}
+	var records []TrialRecord
+	for sc.Scan() {
+		var rec TrialRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break // torn tail: keep the durable prefix
+		}
+		if rec.Index != len(records) {
+			return nil, fmt.Errorf("registry: %s: checkpoint record %d has index %d (not a contiguous prefix)",
+				path, len(records), rec.Index)
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return records, nil
+}

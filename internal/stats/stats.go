@@ -18,6 +18,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"asyncagree/internal/stream"
 )
 
 // Summary describes a sample of float64 observations.
@@ -32,31 +34,47 @@ type Summary struct {
 }
 
 // Summarize computes a Summary. An empty sample yields a zero Summary.
+//
+// Mean and Std accumulate online (stream.Summary) in input order: the mean
+// is an exact sum-over-count and the variance uses Welford's update rather
+// than the catastrophically cancelling sumSq/n − mean² formula, so samples
+// with a large common offset (e.g. x + 1e9) keep their full precision.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
+	var acc stream.Summary
+	for _, x := range xs {
+		acc.Add(x)
+	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	sum, sumSq := 0.0, 0.0
-	for _, x := range sorted {
-		sum += x
-		sumSq += x * x
-	}
-	n := float64(len(sorted))
-	mean := sum / n
-	variance := sumSq/n - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
 	return Summary{
-		Count:  len(sorted),
-		Mean:   mean,
-		Std:    math.Sqrt(variance),
+		Count:  acc.Count(),
+		Mean:   acc.Mean(),
+		Std:    acc.Std(),
 		Min:    sorted[0],
 		Max:    sorted[len(sorted)-1],
 		Median: Quantile(sorted, 0.5),
 		P90:    Quantile(sorted, 0.9),
+	}
+}
+
+// FromStream assembles a Summary from the streaming accumulators of one
+// sample: the online Summary for count/mean/std/min/max and the quantile
+// sketch for median/P90. It is the bridge the streaming trial reducers use
+// to keep rendering the same tables as the batch path; with the sample
+// within the sketch capacity and integer-valued observations every field is
+// identical to Summarize over the collected slice.
+func FromStream(acc *stream.Summary, quantiles *stream.Reservoir) Summary {
+	return Summary{
+		Count:  acc.Count(),
+		Mean:   acc.Mean(),
+		Std:    acc.Std(),
+		Min:    acc.Min(),
+		Max:    acc.Max(),
+		Median: quantiles.Quantile(0.5),
+		P90:    quantiles.Quantile(0.9),
 	}
 }
 

@@ -30,6 +30,29 @@ func TestSummarizeInts(t *testing.T) {
 	}
 }
 
+// TestSummarizeOffsetVariance is the Welford regression test: the naive
+// sumSq/n − mean² formula loses every significant digit of the variance
+// when the sample rides a large common offset (here x + 1e9 with unit-scale
+// spread — sumSq ≈ 1e18 swamps float64's 15–16 digits), historically
+// reporting Std 0 or garbage. Welford's update subtracts the running mean
+// before squaring, so the offset cancels exactly.
+func TestSummarizeOffsetVariance(t *testing.T) {
+	base := []float64{1, 2, 3, 4, 5}
+	want := Summarize(base).Std // sqrt(2), well-conditioned either way
+	const offset = 1e9
+	shifted := make([]float64, len(base))
+	for i, x := range base {
+		shifted[i] = x + offset
+	}
+	s := Summarize(shifted)
+	if math.Abs(s.Std-want) > 1e-6 {
+		t.Fatalf("Std of offset sample = %v, want %v (catastrophic cancellation)", s.Std, want)
+	}
+	if s.Mean != offset+3 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	sorted := []float64{0, 10, 20, 30, 40}
 	cases := []struct {
