@@ -19,6 +19,16 @@
 // prints this hint — rerun with -resume skips the completed prefix and
 // produces output byte-identical to an uninterrupted run.
 //
+// Execution is hardened (DESIGN.md, "Failure model of the harness"): a
+// panicking trial becomes a fault record instead of a crash, a cell is
+// quarantined after repeated consecutive faults, -deadline converts runaway
+// trials into recorded non-termination outcomes, and sink/checkpoint writes
+// are retried with deterministic backoff (-retry), degrading to a reported
+// drop rather than an abort. The -inject-* flags drive the deterministic
+// fault-injection harness (internal/faultinject) that chaos-tests all of
+// this. A sweep that completes but saw faults, quarantines, or dropped
+// sinks prints its table and exits non-zero.
+//
 // Usage:
 //
 //	sweep                                   # full compatible cross-product, default grid
@@ -27,6 +37,8 @@
 //	sweep -sizes 12:1,24:3 -trials 5        # custom shapes, seeds 1..5
 //	sweep -out results.jsonl -progress      # stream per-trial records, report progress
 //	sweep -out results.jsonl -resume        # continue an interrupted sweep
+//	sweep -deadline 30s                     # watchdog: record trials exceeding 30s as non-terminating
+//	sweep -inject-panics rand:3@7           # chaos: panic 3 seeded-random trials
 //	sweep -list                             # print the registered inventory
 package main
 
@@ -43,7 +55,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asyncagree/internal/faultinject"
 	"asyncagree/internal/registry"
+	"asyncagree/internal/retry"
 )
 
 func main() {
@@ -87,6 +101,17 @@ func run(args []string, out io.Writer, interrupted func() bool) error {
 		resume     = fs.Bool("resume", false, "skip trials already recorded in the checkpoint and continue the sweep")
 		progress   = fs.Bool("progress", false, "report trial progress to stderr")
 		stopAfter  = fs.Int("interrupt-after", 0, "stop cleanly after N completed trials, as if interrupted (testing hook for -resume)")
+
+		deadline  = fs.Duration("deadline", 0, "per-trial wall-clock budget; exceeding it records the trial as non-terminating (0 = off)")
+		quarAfter = fs.Int("quarantine-after", 0, "quarantine a cell after N consecutive faulted trials (0 = default 3, negative = never)")
+		retryN    = fs.Int("retry", 3, "attempts per sink/checkpoint write before the sink is dropped")
+		retryBase = fs.Duration("retry-backoff", 5*time.Millisecond, "base of the deterministic exponential retry backoff")
+
+		injPanics  = fs.String("inject-panics", "", "fault injection: trials to panic (\"3,7,9-12\" or \"rand:K@seed\")")
+		injStalls  = fs.String("inject-stalls", "", "fault injection: trials to stall past the watchdog (same syntax)")
+		injStallAt = fs.Int("inject-stall-window", 0, "window at which injected stalls fire (0 = default)")
+		injOut     = fs.String("inject-out-failures", "", "fault injection: -out write-failure schedule (\"N\", \"NxK\", \"N+\", comma-composed)")
+		injCkpt    = fs.String("inject-ckpt-failures", "", "fault injection: checkpoint write-failure schedule (same syntax)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +135,40 @@ func run(args []string, out io.Writer, interrupted func() bool) error {
 	if *trials < 0 {
 		return fmt.Errorf("trials must be >= 0, got %d", *trials)
 	}
+	if *maxWindows < 0 {
+		return fmt.Errorf("max-windows must be >= 0, got %d", *maxWindows)
+	}
+	if *stopAfter < 0 {
+		return fmt.Errorf("interrupt-after must be >= 0, got %d", *stopAfter)
+	}
+	if *deadline < 0 {
+		return fmt.Errorf("deadline must be >= 0, got %s", *deadline)
+	}
+	if *retryN < 1 {
+		return fmt.Errorf("retry must be >= 1 attempt, got %d", *retryN)
+	}
+	if *retryBase < 0 {
+		return fmt.Errorf("retry-backoff must be >= 0, got %s", *retryBase)
+	}
+	if *injStallAt < 0 {
+		return fmt.Errorf("inject-stall-window must be >= 0, got %d", *injStallAt)
+	}
+	inject := &faultinject.Plan{StallWindow: *injStallAt}
+	if inject.Panic, err = faultinject.ParseTrialSet(*injPanics); err != nil {
+		return err
+	}
+	if inject.Stall, err = faultinject.ParseTrialSet(*injStalls); err != nil {
+		return err
+	}
+	outFailures, err := faultinject.ParseWriteFailures(*injOut)
+	if err != nil {
+		return err
+	}
+	ckptFailures, err := faultinject.ParseWriteFailures(*injCkpt)
+	if err != nil {
+		return err
+	}
+	retryPolicy := retry.Policy{Attempts: *retryN, Base: *retryBase, Max: 16 * *retryBase}
 	for seed := uint64(1); seed <= uint64(*trials); seed++ {
 		m.Seeds = append(m.Seeds, seed)
 	}
@@ -128,15 +187,27 @@ func run(args []string, out io.Writer, interrupted func() bool) error {
 	grid := m.GridSignature()
 	var prefix []registry.TrialRecord
 	if *resume {
-		if prefix, err = registry.LoadCheckpoint(ckpt, grid); err != nil {
+		var salvage *registry.SalvageReport
+		if prefix, salvage, err = registry.LoadCheckpointSalvage(ckpt, grid); err != nil {
 			return err
+		}
+		if !salvage.Empty() {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %s\n", ckpt, salvage)
 		}
 		if *progress && len(prefix) > 0 {
 			fmt.Fprintf(os.Stderr, "sweep: resuming past %d checkpointed trials\n", len(prefix))
 		}
 	}
 
-	opts := registry.RunOptions{Resume: prefix, Serial: *serial}
+	opts := registry.RunOptions{
+		Resume:          prefix,
+		Serial:          *serial,
+		TrialDeadline:   *deadline,
+		QuarantineAfter: *quarAfter,
+	}
+	if !inject.Empty() {
+		opts.Inject = inject
+	}
 	var closers []io.Closer
 	defer func() {
 		for _, c := range closers {
@@ -144,20 +215,20 @@ func run(args []string, out io.Writer, interrupted func() bool) error {
 		}
 	}()
 	if *outPath != "" {
-		sink, f, err := openOutSink(*outPath, prefix)
+		sink, f, err := openOutSink(*outPath, prefix, retryPolicy, outFailures)
 		if err != nil {
 			return err
 		}
 		closers = append(closers, f)
-		opts.Sinks = append(opts.Sinks, sink)
+		opts.Sinks = append(opts.Sinks, registry.NamedSink{Name: *outPath, ResultSink: sink})
 	}
 	if ckpt != "" {
-		sink, f, err := openCheckpointSink(ckpt, grid, prefix)
+		sink, f, err := openCheckpointSink(ckpt, grid, prefix, retryPolicy, ckptFailures)
 		if err != nil {
 			return err
 		}
 		closers = append(closers, f)
-		opts.Sinks = append(opts.Sinks, sink)
+		opts.Sinks = append(opts.Sinks, registry.NamedSink{Name: ckpt, ResultSink: sink})
 	}
 
 	var emitted atomic.Int64
@@ -214,19 +285,48 @@ func run(args []string, out io.Writer, interrupted func() bool) error {
 			fmt.Fprintf(out, "  skipped: %s\n", s)
 		}
 	}
+	// Degradation report: only unhealthy sweeps print it (clean output stays
+	// byte-identical to the pre-hardening format) and they exit non-zero
+	// below, after the table and aggregates have been delivered in full.
+	if !sweep.Healthy() {
+		fmt.Fprintf(out, "faulted-trials %d   quarantined-cells %d   dropped-sinks %d\n",
+			sweep.Faulted, len(sweep.Quarantined), len(sweep.SinkFailures))
+		for _, q := range sweep.Quarantined {
+			fmt.Fprintf(out, "  quarantined: %s\n", q)
+		}
+		for _, s := range sweep.SinkFailures {
+			fmt.Fprintf(out, "  sink dropped: %s\n", s)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "sweep: %d trials in %.2fs\n", sweep.TrialCount, time.Since(start).Seconds())
 
 	if v := sweep.SafetyViolations(); v > 0 {
 		return fmt.Errorf("%d agreement/validity violations in safety-certain algorithms (this is a bug, not an expected outcome)", v)
 	}
+	if !sweep.Healthy() {
+		return fmt.Errorf("sweep completed with %d faulted trials, %d quarantined cells, %d dropped sinks",
+			sweep.Faulted, len(sweep.Quarantined), len(sweep.SinkFailures))
+	}
 	return nil
+}
+
+// hardenWriter stacks the streaming-phase write path under a sink: the raw
+// file, then the injected-failure writer (chaos testing), then the retrying
+// writer. Retry must sit between the failure source and the sink's internal
+// bufio (which latches the first error forever), so a transient failure is
+// absorbed invisibly and only an exhausted retry budget reaches the sink —
+// where RunWith drops it and reports the degradation.
+func hardenWriter(f *os.File, pol retry.Policy, failures *faultinject.WriteFailures) io.Writer {
+	return retry.NewWriter(failures.Writer(f), pol)
 }
 
 // openOutSink prepares the per-trial record export: the file is rewritten
 // from the resumed prefix (healing any torn tail of the interrupted run)
 // and the returned sink appends the remaining live trials, so the finished
-// file is byte-identical to an uninterrupted run's.
-func openOutSink(path string, prefix []registry.TrialRecord) (registry.ResultSink, *os.File, error) {
+// file is byte-identical to an uninterrupted run's. Streaming appends run
+// through the retry/fault-injection stack; the atomic prefix rewrite does
+// not (it already fails safe: temp file + rename).
+func openOutSink(path string, prefix []registry.TrialRecord, pol retry.Policy, failures *faultinject.WriteFailures) (registry.ResultSink, *os.File, error) {
 	csv := strings.EqualFold(filepath.Ext(path), ".csv")
 	f, err := rewriteThenAppend(path, func(w io.Writer) error {
 		var sink registry.ResultSink
@@ -245,20 +345,22 @@ func openOutSink(path string, prefix []registry.TrialRecord) (registry.ResultSin
 	if err != nil {
 		return nil, nil, err
 	}
+	w := hardenWriter(f, pol, failures)
 	if csv {
-		s := registry.NewCSVSink(f)
+		s := registry.NewCSVSink(w)
 		if len(prefix) > 0 {
 			s.SkipHeader()
 		}
 		return s, f, nil
 	}
-	return registry.NewJSONLSink(f), f, nil
+	return registry.NewJSONLSink(w), f, nil
 }
 
 // openCheckpointSink prepares the checkpoint: header plus the verified
 // resumed prefix are rewritten, and the returned sink appends every further
-// completed trial as it is emitted.
-func openCheckpointSink(path, grid string, prefix []registry.TrialRecord) (registry.ResultSink, *os.File, error) {
+// completed trial as it is emitted — through the same retry/fault-injection
+// stack as the record export.
+func openCheckpointSink(path, grid string, prefix []registry.TrialRecord, pol retry.Policy, failures *faultinject.WriteFailures) (registry.ResultSink, *os.File, error) {
 	f, err := rewriteThenAppend(path, func(w io.Writer) error {
 		if err := registry.WriteCheckpointHeader(w, grid); err != nil {
 			return err
@@ -274,7 +376,7 @@ func openCheckpointSink(path, grid string, prefix []registry.TrialRecord) (regis
 	if err != nil {
 		return nil, nil, err
 	}
-	return registry.NewJSONLSink(f), f, nil
+	return registry.NewJSONLSink(hardenWriter(f, pol, failures)), f, nil
 }
 
 // rewriteThenAppend atomically replaces path with the bytes head writes

@@ -171,7 +171,7 @@ func New(id sim.ProcID, n, t int, input sim.Bit) (*Proc, error) {
 // NewFactory returns a sim.Config-compatible constructor.
 func NewFactory(n, t int) func(sim.ProcID, sim.Bit) sim.Process {
 	if t < 0 || 2*t >= n {
-		panic(fmt.Sprintf("benor: invalid parameters n=%d t=%d", n, t))
+		panic(fmt.Sprintf("benor: invalid parameters n=%d t=%d (need t >= 0 and n > 2t)", n, t))
 	}
 	return func(id sim.ProcID, input sim.Bit) sim.Process {
 		p, err := New(id, n, t, input)

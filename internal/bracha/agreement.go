@@ -33,6 +33,16 @@ type Agreement struct {
 
 	// acc[r][s][sender] is the accepted Val from sender for (round r, step s).
 	acc map[int]map[int]map[sim.ProcID]Val
+
+	// labels caches the broadcast labels by (round, step): label strings are
+	// pure functions of the prefix, so the cache survives Reset/Recycle and
+	// steady-state rounds concatenate nothing.
+	labels [][3]string
+
+	// roundPool/stepPool recycle the per-round and per-step accumulator maps
+	// released when a round completes (trial recycling, DESIGN.md §2a).
+	roundPool []map[int]map[sim.ProcID]Val
+	stepPool  []map[sim.ProcID]Val
 }
 
 // NewAgreement constructs an agreement instance among members (which must
@@ -80,7 +90,15 @@ func (a *Agreement) Members() []sim.ProcID { return a.members }
 func (a *Agreement) Flush() []sim.Message { return a.engine.Flush() }
 
 func (a *Agreement) label(round, step int) string {
-	return a.prefix + "/r" + strconv.Itoa(round) + "s" + strconv.Itoa(step)
+	for len(a.labels) < round {
+		r := strconv.Itoa(len(a.labels) + 1)
+		a.labels = append(a.labels, [3]string{
+			a.prefix + "/r" + r + "s1",
+			a.prefix + "/r" + r + "s2",
+			a.prefix + "/r" + r + "s3",
+		})
+	}
+	return a.labels[round-1][step-1]
 }
 
 // parseAgreementLabel inverts label for this instance's prefix.
@@ -110,13 +128,19 @@ func parseRoundStep(l string) (round, step int, ok bool) {
 }
 
 // Handles reports whether the message belongs to this instance (an RBC
-// message whose tag label carries the instance prefix).
+// message — pooled box or plain value — whose tag label carries the
+// instance prefix).
 func (a *Agreement) Handles(m sim.Message) bool {
-	msg, ok := m.Payload.(rbc.Msg)
-	if !ok {
+	var label string
+	switch msg := m.Payload.(type) {
+	case *rbc.Msg:
+		label = msg.T.Label
+	case rbc.Msg:
+		label = msg.T.Label
+	default:
 		return false
 	}
-	_, _, ok = a.parseLabel(msg.T.Label)
+	_, _, ok := a.parseLabel(label)
 	return ok
 }
 
@@ -133,12 +157,12 @@ func (a *Agreement) Handle(m sim.Message, r sim.RandSource) {
 		}
 		byStep := a.acc[round]
 		if byStep == nil {
-			byStep = make(map[int]map[sim.ProcID]Val, 3)
+			byStep = a.takeRoundMap()
 			a.acc[round] = byStep
 		}
 		bySender := byStep[step]
 		if bySender == nil {
-			bySender = make(map[sim.ProcID]Val, a.n)
+			bySender = a.takeStepMap()
 			byStep[step] = bySender
 		}
 		if _, dup := bySender[acc.T.Sender]; dup {
@@ -150,7 +174,61 @@ func (a *Agreement) Handle(m sim.Message, r sim.RandSource) {
 }
 
 func (a *Agreement) broadcastStep() {
-	a.engine.Broadcast(a.label(a.round, a.step), Val{V: a.x, D: a.mark && a.step == 3})
+	a.engine.Broadcast(a.label(a.round, a.step), valAny(a.x, a.mark && a.step == 3))
+}
+
+// valBoxes interns the four possible Val payloads as pre-boxed interface
+// values, so queuing a broadcast never re-boxes one. Interface equality
+// compares dynamic type and value, so interned boxes compare equal to
+// hand-built Val payloads (Byzantine strategies, tests) in the threshold
+// maps.
+var valBoxes = [2][2]any{
+	{Val{V: 0, D: false}, Val{V: 0, D: true}},
+	{Val{V: 1, D: false}, Val{V: 1, D: true}},
+}
+
+// valAny returns the interned boxed Val for (v, d).
+func valAny(v sim.Bit, d bool) any {
+	i := 0
+	if d {
+		i = 1
+	}
+	return valBoxes[v][i]
+}
+
+// takeRoundMap fetches a per-round accumulator map from the pool.
+func (a *Agreement) takeRoundMap() map[int]map[sim.ProcID]Val {
+	if n := len(a.roundPool); n > 0 {
+		m := a.roundPool[n-1]
+		a.roundPool = a.roundPool[:n-1]
+		return m
+	}
+	return make(map[int]map[sim.ProcID]Val, 3)
+}
+
+// takeStepMap fetches a per-step accumulator map from the pool.
+func (a *Agreement) takeStepMap() map[sim.ProcID]Val {
+	if n := len(a.stepPool); n > 0 {
+		m := a.stepPool[n-1]
+		a.stepPool = a.stepPool[:n-1]
+		return m
+	}
+	return make(map[sim.ProcID]Val, a.n)
+}
+
+// releaseRound returns a completed round's accumulator maps to the pools.
+func (a *Agreement) releaseRound(round int) {
+	byStep := a.acc[round]
+	if byStep == nil {
+		return
+	}
+	for s, m := range byStep {
+		clear(m)
+		a.stepPool = append(a.stepPool, m)
+		delete(byStep, s)
+	}
+	a.roundPool = append(a.roundPool, byStep)
+	delete(a.acc, round)
 }
 
 // countVals tallies accepted values for (round, step) over all senders.
@@ -162,46 +240,52 @@ func (a *Agreement) countVals(round, step int) [2]int {
 	return count
 }
 
-// validStep returns the accepted values for (round, step) that pass
-// Bracha's message validation (see the package comment).
-func (a *Agreement) validStep(round, step int) map[sim.ProcID]Val {
+// validCounts tallies the accepted values for (round, step) that pass
+// Bracha's message validation (see the package comment): the number of
+// validated senders, the per-value totals, and — step 3 only — the
+// per-value totals of validated *marked* values. Counting directly (rather
+// than materializing the validated subset as a map) keeps the Deliver hot
+// path allocation-free.
+func (a *Agreement) validCounts(round, step int) (valid int, count, marked [2]int) {
 	all := a.acc[round][step]
 	if step == 1 {
-		return all
+		for _, v := range all {
+			count[v.V]++
+		}
+		return len(all), count, marked
 	}
 	prev := a.countVals(round, step-1)
-	valid := make(map[sim.ProcID]Val, len(all))
-	for q, v := range all {
+	for _, v := range all {
 		switch {
 		case step == 2:
 			if 2*prev[v.V] > a.n-a.t {
-				valid[q] = v
+				valid++
+				count[v.V]++
 			}
-		case step == 3 && !v.D:
-			valid[q] = v
-		case step == 3:
+		case !v.D: // step 3, unmarked: always valid
+			valid++
+			count[v.V]++
+		default: // step 3, marked: needs step-2 justification
 			if 2*prev[v.V] > a.n {
-				valid[q] = v
+				valid++
+				count[v.V]++
+				marked[v.V]++
 			}
 		}
 	}
-	return valid
+	return valid, count, marked
 }
 
 // progress advances through steps while the current step's wait threshold
 // (n-t validated accepted values) is met.
 func (a *Agreement) progress(r sim.RandSource) {
 	for {
-		cur := a.validStep(a.round, a.step)
-		if len(cur) < a.n-a.t {
+		valid, count, marked := a.validCounts(a.round, a.step)
+		if valid < a.n-a.t {
 			return
 		}
 		switch a.step {
 		case 1:
-			var count [2]int
-			for _, v := range cur {
-				count[v.V]++
-			}
 			if count[1] > count[0] {
 				a.x = 1
 			} else {
@@ -209,10 +293,6 @@ func (a *Agreement) progress(r sim.RandSource) {
 			}
 			a.step = 2
 		case 2:
-			var count [2]int
-			for _, v := range cur {
-				count[v.V]++
-			}
 			a.mark = false
 			for v := sim.Bit(0); v <= 1; v++ {
 				if 2*count[v] > a.n {
@@ -221,12 +301,6 @@ func (a *Agreement) progress(r sim.RandSource) {
 			}
 			a.step = 3
 		case 3:
-			var marked [2]int
-			for _, v := range cur {
-				if v.D {
-					marked[v.V]++
-				}
-			}
 			switch {
 			case marked[0] >= 2*a.t+1:
 				a.decide(0)
@@ -242,7 +316,7 @@ func (a *Agreement) progress(r sim.RandSource) {
 				a.x = sim.Bit(r.Bit())
 			}
 			a.mark = false
-			delete(a.acc, a.round)
+			a.releaseRound(a.round)
 			round := a.round
 			a.engine.Forget(func(tag rbc.Tag) bool {
 				r0, _, ok := a.parseLabel(tag.Label)
@@ -286,7 +360,14 @@ func (a *Agreement) rewind(x sim.Bit) {
 	a.x = x
 	a.mark = false
 	a.decided = false
-	clear(a.acc)
+	for round := range a.acc {
+		a.releaseRound(round)
+	}
 	a.engine.Reset()
 	a.broadcastStep()
 }
+
+// ReclaimPayload forwards the System's dead payload boxes to the RBC
+// engine's pool; hosts embedding an Agreement implement
+// sim.PayloadReclaimer by delegating here.
+func (a *Agreement) ReclaimPayload(payload any) { a.engine.ReclaimPayload(payload) }

@@ -84,7 +84,7 @@ func New(id sim.ProcID, n, t int, input sim.Bit) (*Proc, error) {
 // NewFactory returns a sim.Config-compatible constructor.
 func NewFactory(n, t int) func(sim.ProcID, sim.Bit) sim.Process {
 	if t < 0 || n <= 3*t {
-		panic(fmt.Sprintf("bracha: invalid parameters n=%d t=%d", n, t))
+		panic(fmt.Sprintf("bracha: invalid parameters n=%d t=%d (need t >= 0 and n > 3t)", n, t))
 	}
 	return func(id sim.ProcID, input sim.Bit) sim.Process {
 		p, err := New(id, n, t, input)
@@ -115,6 +115,10 @@ func (p *Proc) Agreement() *Agreement { return p.ag }
 
 // Send implements sim.Process.
 func (p *Proc) Send() []sim.Message { return p.ag.Flush() }
+
+// ReclaimPayload implements sim.PayloadReclaimer: the System returns the
+// payload boxes of a completed window's batch to the RBC engine's pool.
+func (p *Proc) ReclaimPayload(payload any) { p.ag.ReclaimPayload(payload) }
 
 // Deliver implements sim.Process.
 func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {

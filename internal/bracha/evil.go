@@ -129,19 +129,41 @@ func (f *FalseVoter) Input() sim.Bit { return f.inner.Input() }
 func (f *FalseVoter) Output() (sim.Bit, bool) { return 0, false }
 
 // Send implements sim.Process: flips the bit in outgoing INITs of its own
-// broadcasts.
+// broadcasts. The inner engine's broadcasts share one pooled *rbc.Msg box
+// across all copies, so a box is flipped exactly once (flipping per copy
+// would toggle the value back and forth); copies of one broadcast are
+// consecutive, making last-pointer dedup sufficient.
 func (f *FalseVoter) Send() []sim.Message {
 	msgs := f.inner.Send()
+	var last *rbc.Msg
 	for i, m := range msgs {
-		if rm, ok := m.Payload.(rbc.Msg); ok && rm.Kind == rbc.KindInit && rm.T.Sender == f.inner.ID() {
-			if v, ok := rm.Value.(Val); ok {
-				rm.Value = Val{V: 1 - v.V, D: v.D}
-				msgs[i].Payload = rm
+		switch rm := m.Payload.(type) {
+		case *rbc.Msg:
+			if rm == last {
+				continue // another copy of an already-flipped broadcast
+			}
+			last = rm
+			if rm.Kind == rbc.KindInit && rm.T.Sender == f.inner.ID() {
+				if v, ok := rm.Value.(Val); ok {
+					rm.Value = valAny(1-v.V, v.D)
+				}
+			}
+		case rbc.Msg:
+			// Value payloads are per-copy; rewrite each one.
+			if rm.Kind == rbc.KindInit && rm.T.Sender == f.inner.ID() {
+				if v, ok := rm.Value.(Val); ok {
+					rm.Value = valAny(1-v.V, v.D)
+					msgs[i].Payload = rm
+				}
 			}
 		}
 	}
 	return msgs
 }
+
+// ReclaimPayload implements sim.PayloadReclaimer by forwarding the dead
+// payload boxes to the wrapped processor's pool.
+func (f *FalseVoter) ReclaimPayload(payload any) { f.inner.ReclaimPayload(payload) }
 
 // Deliver implements sim.Process.
 func (f *FalseVoter) Deliver(m sim.Message, r sim.RandSource) { f.inner.Deliver(m, r) }

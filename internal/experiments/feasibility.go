@@ -90,7 +90,7 @@ func patternInputs(n int, seed uint64) []sim.Bit {
 	names := [4]string{"zeros", "ones", "split", "blocks"}
 	in, err := registry.Inputs(names[seed%4], n, seed)
 	if err != nil {
-		panic(err) // unreachable: the names are registered
+		panic(fmt.Sprintf("experiments: built-in input generator %q missing: %v", names[seed%4], err))
 	}
 	return in
 }

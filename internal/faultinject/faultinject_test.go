@@ -1,0 +1,165 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseTrialSetExplicit(t *testing.T) {
+	set, err := ParseTrialSet("3, 7,9-11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.materialize(100)
+	for _, want := range []int{3, 7, 9, 10, 11} {
+		if !set.Contains(want) {
+			t.Fatalf("missing %d", want)
+		}
+	}
+	for _, not := range []int{0, 4, 8, 12} {
+		if set.Contains(not) {
+			t.Fatalf("unexpected member %d", not)
+		}
+	}
+}
+
+func TestParseTrialSetErrors(t *testing.T) {
+	for _, bad := range []string{"x", "-3", "5-2", "rand:0@7", "rand:3", "rand:a@b", ","} {
+		if _, err := ParseTrialSet(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+	if set, err := ParseTrialSet(""); set != nil || err != nil {
+		t.Fatalf("empty string should be a nil set, got %v, %v", set, err)
+	}
+}
+
+func TestSeededTrialSetDeterministicAndSized(t *testing.T) {
+	a, err := ParseTrialSet("rand:5@42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ParseTrialSet("rand:5@42")
+	c, _ := ParseTrialSet("rand:5@43")
+	a.materialize(64)
+	b.materialize(64)
+	c.materialize(64)
+	ai, bi, ci := a.Indices(), b.Indices(), c.Indices()
+	if len(ai) != 5 {
+		t.Fatalf("selected %d trials, want 5", len(ai))
+	}
+	for i := range ai {
+		if ai[i] != bi[i] {
+			t.Fatalf("same seed diverged: %v vs %v", ai, bi)
+		}
+		if ai[i] < 0 || ai[i] >= 64 {
+			t.Fatalf("index %d out of range", ai[i])
+		}
+	}
+	same := len(ci) == len(ai)
+	if same {
+		for i := range ai {
+			if ai[i] != ci[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds selected the same set %v", ai)
+	}
+}
+
+func TestSeededTrialSetClampsToTotal(t *testing.T) {
+	s, _ := ParseTrialSet("rand:10@1")
+	s.materialize(4)
+	if got := len(s.Indices()); got != 4 {
+		t.Fatalf("selected %d of 4 trials, want all 4", got)
+	}
+}
+
+func TestPlanKnobs(t *testing.T) {
+	p := &Plan{}
+	panics, _ := ParseTrialSet("2")
+	stalls, _ := ParseTrialSet("5")
+	p.Panic, p.Stall = panics, stalls
+	p.Materialize(10)
+	if !p.ShouldPanic(2) || p.ShouldPanic(5) {
+		t.Fatal("panic selection wrong")
+	}
+	if w, ok := p.ShouldStall(5); !ok || w != DefaultStallWindow {
+		t.Fatalf("stall selection = (%d, %v)", w, ok)
+	}
+	p.StallWindow = 7
+	if w, _ := p.ShouldStall(5); w != 7 {
+		t.Fatalf("explicit stall window ignored: %d", w)
+	}
+	if (*Plan)(nil).ShouldPanic(0) {
+		t.Fatal("nil plan injected a panic")
+	}
+	if !(*Plan)(nil).Empty() || !p.Empty() == true && false {
+		t.Fatal("nil plan must be empty")
+	}
+	if p.Empty() {
+		t.Fatal("populated plan reported empty")
+	}
+}
+
+func TestWriteFailuresSchedule(t *testing.T) {
+	wf, err := ParseWriteFailures("2x2,6+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false, false, true, true, true}
+	for i, w := range want {
+		if got := wf.next(); got != w {
+			t.Fatalf("op %d: fail = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestParseWriteFailuresErrors(t *testing.T) {
+	for _, bad := range []string{"0+", "x2", "3x0", "3xq", "-1", ","} {
+		if _, err := ParseWriteFailures(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+	if wf, err := ParseWriteFailures(""); wf != nil || err != nil {
+		t.Fatalf("empty schedule should be nil, got %v, %v", wf, err)
+	}
+}
+
+func TestFailingWriterAtomicFailures(t *testing.T) {
+	wf, _ := ParseWriteFailures("1x1")
+	var sb strings.Builder
+	w := wf.Writer(&sb)
+	if _, err := w.Write([]byte("a")); err == nil {
+		t.Fatal("scheduled failure did not fire")
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("failed write leaked bytes: %q", sb.String())
+	}
+	if n, err := w.Write([]byte("b")); err != nil || n != 1 {
+		t.Fatalf("write after schedule = (%d, %v)", n, err)
+	}
+	if sb.String() != "b" {
+		t.Fatalf("got %q", sb.String())
+	}
+	var plain strings.Builder
+	if got := (*WriteFailures)(nil).Writer(&plain); got != &plain {
+		t.Fatal("nil schedule should return the writer unchanged")
+	}
+}
+
+func TestFailingWriterErrorIsIdentifiable(t *testing.T) {
+	wf, _ := ParseWriteFailures("1+")
+	_, err := wf.Writer(&strings.Builder{}).Write([]byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "faultinject") {
+		t.Fatalf("err = %v", err)
+	}
+	var sentinel error = err
+	if errors.Is(sentinel, nil) {
+		t.Fatal("impossible")
+	}
+}

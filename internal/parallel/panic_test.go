@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestMapPanicBecomesError: a panicking index surfaces as the *PanicError
+// of the lowest panicking index, like any other trial error, instead of
+// crashing the pool.
+func TestMapPanicBecomesError(t *testing.T) {
+	_, err := Map(16, func(i int) (int, error) {
+		if i == 5 || i == 9 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom 5" && pe.Value != "boom 9" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatalf("stack not captured: %q", pe.Stack)
+	}
+}
+
+// TestMapSerialPanicSameSurface pins that the GOMAXPROCS=1 fallback loop
+// recovers panics identically to the worker pool.
+func TestMapSerialPanicSameSurface(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	_, err := Map(4, func(i int) (int, error) {
+		if i == 2 {
+			panic("serial boom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want *PanicError at index 2", err)
+	}
+}
+
+// TestStreamPanicPrefixIntact: everything emitted before the failing index
+// is still the exact serial prefix.
+func TestStreamPanicPrefixIntact(t *testing.T) {
+	var got []int
+	err := Stream(64, 4,
+		func(i int) (int, error) {
+			if i == 10 {
+				panic("stream boom")
+			}
+			return i * i, nil
+		},
+		func(i, v int) error {
+			got = append(got, v)
+			return nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 10 {
+		t.Fatalf("err = %v, want *PanicError at index 10", err)
+	}
+	if len(got) > 10 {
+		t.Fatalf("emitted %d results past the panicking index", len(got)-10)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("emitted prefix corrupted at %d: %d", i, v)
+		}
+	}
+}
+
+// TestStreamEmitPanicBecomesError: a panic inside the emission callback is
+// contained like an emit error.
+func TestStreamEmitPanicBecomesError(t *testing.T) {
+	err := Stream(8, 2,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			if i == 3 {
+				panic("emit boom")
+			}
+			return nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Fatalf("err = %v, want *PanicError at index 3", err)
+	}
+}
+
+// TestReducePanicFailsBlock: a panicking fold index fails the reduction
+// with a *PanicError at that index and no partial accumulator.
+func TestReducePanicFailsBlock(t *testing.T) {
+	sum, err := Reduce(100,
+		func() int { return 0 },
+		func(acc, i int) (int, error) {
+			if i == 37 {
+				panic("fold boom")
+			}
+			return acc + i, nil
+		},
+		func(a, b int) int { return a + b })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 37 {
+		t.Fatalf("err = %v, want *PanicError at index 37", err)
+	}
+	if sum != 0 {
+		t.Fatalf("partial accumulator leaked: %d", sum)
+	}
+}
+
+// TestPanicErrorUnwrap: a panic whose value already is an error stays
+// matchable with errors.Is through the wrapper.
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("invariant violated")
+	_, err := Map(1, func(i int) (int, error) { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v does not unwrap to the panic value", err)
+	}
+	var pe *PanicError
+	errors.As(err, &pe)
+	if (&PanicError{Value: "plain"}).Unwrap() != nil {
+		t.Fatal("non-error panic value must unwrap to nil")
+	}
+}

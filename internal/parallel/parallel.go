@@ -18,10 +18,56 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from a worker body, converted into an
+// ordinary error so one panicking trial cannot take down the whole pool
+// (and, on parallel runs, every sibling worker's in-flight results). It
+// records the panicking index, the panic value, and the stack captured at
+// recovery — the raw material the registry layer turns into a structured
+// quarantine record.
+type PanicError struct {
+	// Index is the work index whose function panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: panic at index %d: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes a panic value that already was an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// guard wraps fn so a panic inside fn(i) is returned as a *PanicError
+// instead of unwinding the worker goroutine. Every pool entry point (Map,
+// Stream, Reduce — serial fallbacks included, so the error surface does not
+// depend on GOMAXPROCS) runs its work function through this wrapper.
+func guard[T any](fn func(int) (T, error)) func(int) (T, error) {
+	return func(i int) (v T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				var zero T
+				v, err = zero, &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
+}
 
 // Map runs fn(i) for every i in [0, n) across up to GOMAXPROCS workers and
 // returns the results ordered by index (never by completion time). If any
@@ -33,6 +79,7 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	if n == 0 {
 		return results, nil
 	}
+	fn = guard(fn)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -108,6 +155,8 @@ func Stream[T any](n, window int, fn func(i int) (T, error), emit func(i int, v 
 	if n == 0 {
 		return nil
 	}
+	fn = guard(fn)
+	emit = guardEmit(emit)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -212,6 +261,20 @@ func Stream[T any](n, window int, fn func(i int) (T, error), emit func(i int, v 
 	return firstErr
 }
 
+// guardEmit is guard for the two-argument emit callback: a panic inside
+// emit(i, v) surfaces as a *PanicError failure at index i, exactly like an
+// emit error.
+func guardEmit[T any](emit func(i int, v T) error) func(i int, v T) error {
+	return func(i int, v T) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return emit(i, v)
+	}
+}
+
 // reduceMaxBlocks is the fixed upper bound on Reduce's block count. It
 // depends only on the input size — never on GOMAXPROCS — so the block
 // partition, and therefore the merge tree and its floating-point rounding,
@@ -244,6 +307,19 @@ func Reduce[A any](n int, newAcc func() A, fold func(acc A, i int) (A, error), m
 	blocks := n
 	if blocks > reduceMaxBlocks {
 		blocks = reduceMaxBlocks
+	}
+	// Guard the fold: a panic folding observation i fails its block with a
+	// *PanicError at i (the accumulator-threading signature needs a bespoke
+	// wrapper rather than guard).
+	rawFold := fold
+	fold = func(acc A, i int) (out A, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				var zero A
+				out, err = zero, &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return rawFold(acc, i)
 	}
 	accs := make([]A, blocks)
 	blockErrs := make([]error, blocks)

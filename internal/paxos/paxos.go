@@ -119,12 +119,17 @@ func New(id sim.ProcID, p Params, input sim.Bit) (*Proc, error) {
 	return proc, nil
 }
 
-// NewFactory returns a sim.Config-compatible constructor.
+// NewFactory returns a sim.Config-compatible constructor. Like the other
+// factories it validates eagerly, so a bad configuration fails at wiring
+// time rather than mid-trial inside the first process constructor.
 func NewFactory(p Params) func(sim.ProcID, sim.Bit) sim.Process {
+	if p.N <= 0 {
+		panic(fmt.Sprintf("paxos: invalid parameters n=%d (need n > 0)", p.N))
+	}
 	return func(id sim.ProcID, input sim.Bit) sim.Process {
 		proc, err := New(id, p, input)
 		if err != nil {
-			panic("paxos: " + err.Error()) // unreachable: New only rejects n <= 0
+			panic("paxos: " + err.Error()) // unreachable: n validated above
 		}
 		return proc
 	}

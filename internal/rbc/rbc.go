@@ -91,6 +91,19 @@ type Engine struct {
 
 	instances map[Tag]*instance
 	outbox    []sim.Message
+
+	// Recycling pools (see sim.PayloadReclaimer and DESIGN.md §2a): msgPool
+	// holds the heap-boxed *Msg payloads of dead broadcasts, instPool and
+	// setPool the instance records and per-value sender sets released by
+	// Forget/Reset. In step mode the pools stay empty (nothing is reclaimed)
+	// and every broadcast boxes fresh, which is always safe.
+	msgPool  []*Msg
+	instPool []*instance
+	setPool  []map[sim.ProcID]bool
+
+	// acceptBuf backs Handle's zero-or-one-element result slice, so an
+	// acceptance does not allocate on the delivery hot path.
+	acceptBuf [1]Accepted
 }
 
 type instance struct {
@@ -150,13 +163,44 @@ func (e *Engine) AcceptThreshold() int { return 2*e.t + 1 }
 func (e *Engine) inst(t Tag) *instance {
 	in := e.instances[t]
 	if in == nil {
-		in = &instance{
-			echoes: make(map[any]map[sim.ProcID]bool),
-			readys: make(map[any]map[sim.ProcID]bool),
+		if n := len(e.instPool); n > 0 {
+			in = e.instPool[n-1]
+			e.instPool = e.instPool[:n-1]
+		} else {
+			in = &instance{
+				echoes: make(map[any]map[sim.ProcID]bool),
+				readys: make(map[any]map[sim.ProcID]bool),
+			}
 		}
 		e.instances[t] = in
 	}
 	return in
+}
+
+// releaseInstance returns an instance and its sender sets to the pools.
+func (e *Engine) releaseInstance(in *instance) {
+	for _, set := range in.echoes {
+		clear(set)
+		e.setPool = append(e.setPool, set)
+	}
+	for _, set := range in.readys {
+		clear(set)
+		e.setPool = append(e.setPool, set)
+	}
+	clear(in.echoes)
+	clear(in.readys)
+	in.sentEcho, in.sentReady, in.accepted = false, false, false
+	e.instPool = append(e.instPool, in)
+}
+
+// takeSet fetches a cleared sender set from the pool (or allocates one).
+func (e *Engine) takeSet() map[sim.ProcID]bool {
+	if n := len(e.setPool); n > 0 {
+		set := e.setPool[n-1]
+		e.setPool = e.setPool[:n-1]
+		return set
+	}
+	return make(map[sim.ProcID]bool)
 }
 
 // Broadcast starts a reliable broadcast with this processor as the sender.
@@ -164,16 +208,60 @@ func (e *Engine) Broadcast(label string, value any) {
 	e.sendAll(Msg{T: Tag{Sender: e.self, Label: label}, Kind: KindInit, Value: value})
 }
 
+// sendAll queues m to every member. All copies share one pooled *Msg box
+// (boxing the Msg value once per copy was the Bracha benchmark's single
+// largest allocation source); the host hands dead boxes back through
+// ReclaimPayload.
 func (e *Engine) sendAll(m Msg) {
+	box := e.takeMsg()
+	*box = m
+	var payload any = box
 	if e.members != nil {
 		for _, q := range e.members {
-			e.outbox = append(e.outbox, sim.Message{From: e.self, To: q, Payload: m})
+			e.outbox = append(e.outbox, sim.Message{From: e.self, To: q, Payload: payload})
 		}
 		return
 	}
 	for q := 0; q < e.n; q++ {
-		e.outbox = append(e.outbox, sim.Message{From: e.self, To: sim.ProcID(q), Payload: m})
+		e.outbox = append(e.outbox, sim.Message{From: e.self, To: sim.ProcID(q), Payload: payload})
 	}
+}
+
+// takeMsg fetches a payload box from the pool (or allocates one).
+func (e *Engine) takeMsg() *Msg {
+	if n := len(e.msgPool); n > 0 {
+		m := e.msgPool[n-1]
+		e.msgPool = e.msgPool[:n-1]
+		return m
+	}
+	return new(Msg)
+}
+
+// ReclaimPayload returns a dead broadcast's payload box to the pool. Hosts
+// implementing sim.PayloadReclaimer forward the System's callbacks here;
+// payload types the engine does not own are ignored, so hosts mixing RBC
+// traffic with their own payloads can forward everything.
+func (e *Engine) ReclaimPayload(payload any) {
+	if m, ok := payload.(*Msg); ok {
+		e.msgPool = append(e.msgPool, m)
+	}
+}
+
+// reclaimOutbox returns the payload boxes of queued-but-unsent messages to
+// the pool and truncates the outbox. Those boxes were never exposed outside
+// the engine, so reclaiming them immediately is safe. Copies of one
+// broadcast are consecutive and share a box, hence the dedup.
+func (e *Engine) reclaimOutbox() {
+	var last any
+	for i := range e.outbox {
+		if pl := e.outbox[i].Payload; pl != last {
+			last = pl
+			if m, ok := pl.(*Msg); ok {
+				e.msgPool = append(e.msgPool, m)
+			}
+		}
+	}
+	e.outbox = e.outbox[:0]
 }
 
 // Flush drains the outgoing message queue; the host's Send step forwards
@@ -191,11 +279,21 @@ func (e *Engine) Flush() []sim.Message {
 func (e *Engine) PendingOut() bool { return len(e.outbox) > 0 }
 
 // Handle processes one incoming message and returns newly accepted
-// broadcasts (zero or one — the slice form simplifies hosts). Non-RBC
-// payloads are ignored.
+// broadcasts (zero or one — the slice form simplifies hosts; the slice is
+// backed by a buffer reused on the next Handle call, so consume it before
+// handling another message). Non-RBC
+// payloads are ignored. Both payload forms are accepted: the pooled *Msg
+// boxes engines send, and plain Msg values (hand-built Byzantine traffic,
+// tests); the contents are copied out immediately, so a box may be
+// reclaimed and overwritten after the window that delivered it.
 func (e *Engine) Handle(m sim.Message) []Accepted {
-	msg, ok := m.Payload.(Msg)
-	if !ok {
+	var msg Msg
+	switch pm := m.Payload.(type) {
+	case *Msg:
+		msg = *pm
+	case Msg:
+		msg = pm
+	default:
 		return nil
 	}
 	if e.isMember != nil && !e.isMember[m.From] {
@@ -214,7 +312,7 @@ func (e *Engine) Handle(m sim.Message) []Accepted {
 	case KindEcho:
 		set := in.echoes[msg.Value]
 		if set == nil {
-			set = make(map[sim.ProcID]bool)
+			set = e.takeSet()
 			in.echoes[msg.Value] = set
 		}
 		if set[m.From] {
@@ -228,7 +326,7 @@ func (e *Engine) Handle(m sim.Message) []Accepted {
 	case KindReady:
 		set := in.readys[msg.Value]
 		if set == nil {
-			set = make(map[sim.ProcID]bool)
+			set = e.takeSet()
 			in.readys[msg.Value] = set
 		}
 		if set[m.From] {
@@ -241,7 +339,8 @@ func (e *Engine) Handle(m sim.Message) []Accepted {
 		}
 		if len(set) >= e.AcceptThreshold() && !in.accepted {
 			in.accepted = true
-			return []Accepted{{T: msg.T, Value: msg.Value}}
+			e.acceptBuf[0] = Accepted{T: msg.T, Value: msg.Value}
+			return e.acceptBuf[:]
 		}
 	}
 	return nil
@@ -249,10 +348,14 @@ func (e *Engine) Handle(m sim.Message) []Accepted {
 
 // Reset erases all instance state (for hosts subjected to resetting
 // failures and for trial recycling). The instance map and outbox keep their
-// capacity.
+// capacity, and instances, sender sets, and the payload boxes of
+// queued-but-unsent messages return to their pools.
 func (e *Engine) Reset() {
+	for _, in := range e.instances {
+		e.releaseInstance(in)
+	}
 	clear(e.instances)
-	e.outbox = e.outbox[:0]
+	e.reclaimOutbox()
 }
 
 // InstanceCount returns the number of live broadcast instances (for memory
@@ -263,8 +366,9 @@ func (e *Engine) InstanceCount() int { return len(e.instances) }
 // long executions (hosts call it when a round's broadcasts can no longer
 // matter).
 func (e *Engine) Forget(drop func(Tag) bool) {
-	for t := range e.instances {
+	for t, in := range e.instances {
 		if drop(t) {
+			e.releaseInstance(in)
 			delete(e.instances, t)
 		}
 	}

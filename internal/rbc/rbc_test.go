@@ -209,7 +209,7 @@ func TestReadyAmplification(t *testing.T) {
 		t.Fatalf("amplified READY to %d recipients, want 7", len(out))
 	}
 	for _, m := range out {
-		rm, ok := m.Payload.(Msg)
+		rm, ok := m.Payload.(*Msg) // engines send pooled payload boxes
 		if !ok || rm.Kind != KindReady || rm.Value != "v" {
 			t.Fatalf("unexpected amplification output %+v", m.Payload)
 		}

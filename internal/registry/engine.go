@@ -199,16 +199,36 @@ func (e *TrialEngine) Run(maxWindows int) (sim.RunResult, error) {
 	return e.sys.RunWindows(e.plan, maxWindows)
 }
 
+// RunUntil executes one window-mode trial to the budget under a cooperative
+// stall watchdog (see sim.System.RunWindowsUntil): expired is polled on
+// every window boundary, and a true return stops the trial there with
+// stalled = true and the partial result. A nil expired is exactly Run.
+func (e *TrialEngine) RunUntil(maxWindows int, expired func(windows int) bool) (sim.RunResult, bool, error) {
+	return e.sys.RunWindowsUntil(e.plan, maxWindows, expired)
+}
+
 // Release returns the engine to its scenario pool for the next trial. The
 // caller must not touch the engine (or its System) afterwards. Releasing
-// after a failed run is fine: the next acquisition rewinds everything.
+// after a failed (erroring or stalled) run is fine: the next acquisition
+// rewinds everything.
+//
+// Release must never be deferred across a running trial. If the trial
+// panics, skipping Release is exactly what we want: a panic can unwind the
+// system mid-window, leaving internal state (message buffer, payload pools,
+// scratch slices) outside anything the Recycle contract anticipates, so the
+// poisoned engine is simply dropped for the garbage collector and the next
+// acquisition constructs a fresh one. The sweep pipeline's panic isolation
+// (Matrix.RunWith) relies on this — it recovers the panic above the call to
+// RunPooledTrial, which has already abandoned the engine.
 func (e *TrialEngine) Release() {
 	poolFor(e.key).Put(e)
 }
 
 // RunPooledTrial acquires a pooled engine, runs one window-mode trial of
 // the named scenario at p, and releases the engine: the steady-state trial
-// path shared by the sweep matrix and the experiment drivers.
+// path shared by the sweep matrix and the experiment drivers. Release is a
+// plain call, not a defer — see Release for why a panicking trial must
+// abandon its engine rather than pool it.
 func RunPooledTrial(algName, advName, schedName string, p Params, maxWindows int) (sim.RunResult, error) {
 	e, err := AcquireTrial(algName, advName, schedName, p)
 	if err != nil {

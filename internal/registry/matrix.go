@@ -3,8 +3,12 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"asyncagree/internal/faultinject"
 	"asyncagree/internal/parallel"
 	"asyncagree/internal/sim"
 	"asyncagree/internal/stats"
@@ -106,6 +110,25 @@ type Sweep struct {
 	// Skipped records cells whose size failed the algorithm's parameter
 	// validation, e.g. "core 12:3: ... t >= n/6".
 	Skipped []string
+	// Faulted counts trials that ended in a fault record instead of a clean
+	// result: panics, watchdog deadlines, trial errors, and quarantine
+	// skips. Faulted trials never enter the per-cell aggregates.
+	Faulted int
+	// Quarantined records cells quarantined after QuarantineAfter
+	// consecutive faults, in the order quarantine fired (the same reporting
+	// shape as Skipped — the sweep proceeds without them).
+	Quarantined []string
+	// SinkFailures records sinks dropped mid-run (or failing their final
+	// flush) after their retry budget was exhausted. The sweep and its
+	// aggregates are unaffected; callers surface the loss in the exit
+	// status.
+	SinkFailures []string
+}
+
+// Healthy reports whether the sweep ran with no faulted trials, no
+// quarantined cells, and no dropped sinks.
+func (s *Sweep) Healthy() bool {
+	return s.Faulted == 0 && len(s.Quarantined) == 0 && len(s.SinkFailures) == 0
 }
 
 // trialSpec is one fully expanded trial.
@@ -283,6 +306,25 @@ func runTrial(ts trialSpec) (sim.RunResult, error) {
 	return RunPooledTrial(ts.Algorithm, ts.Adversary, ts.Scheduler, p, ts.maxWindows)
 }
 
+// runTrialUntil is runTrial with the cooperative stall watchdog threaded
+// through to the window loop; a nil expired is exactly runTrial. On a
+// stalled trial the engine is still released (a rewind handles a half-run
+// system); only a panic — which unwinds past the Release call — abandons it.
+func runTrialUntil(ts trialSpec, expired func(windows int) bool) (sim.RunResult, bool, error) {
+	inputs, err := Inputs(ts.Input, ts.Size.N, ts.seed)
+	if err != nil {
+		return sim.RunResult{}, false, err
+	}
+	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed}
+	e, err := AcquireTrial(ts.Algorithm, ts.Adversary, ts.Scheduler, p)
+	if err != nil {
+		return sim.RunResult{}, false, err
+	}
+	res, stalled, err := e.RunUntil(ts.maxWindows, expired)
+	e.Release()
+	return res, stalled, err
+}
+
 // runTrialFresh is the pre-pool path — build a fresh system and fresh
 // adversary + scheduler state from the seed — kept as the reference
 // implementation the recycled path is equivalence-tested against.
@@ -337,10 +379,57 @@ type RunOptions struct {
 	// Serial runs the trials on a plain serial loop instead of the worker
 	// pool (byte-identical output, used by determinism tests and -serial).
 	Serial bool
+	// TrialDeadline is the per-trial wall-clock budget, enforced
+	// cooperatively on window boundaries alongside MaxWindows: a trial that
+	// exceeds it becomes a recorded FaultDeadline outcome instead of a hung
+	// worker. 0 disables the watchdog. Because real time is involved, which
+	// trials fault can differ run to run — but clean records are
+	// byte-identical either way, and a given run's record stream is still
+	// strictly index-ordered.
+	TrialDeadline time.Duration
+	// QuarantineAfter is the number of consecutive faulted trials after
+	// which a cell is quarantined: its remaining trials are skipped with
+	// FaultQuarantined records and the cell is reported in
+	// Sweep.Quarantined. 0 selects DefaultQuarantineAfter; negative
+	// disables quarantine.
+	QuarantineAfter int
+	// Inject is the deterministic fault-injection plan (nil injects
+	// nothing). RunWith materializes seeded selections against the expanded
+	// trial count before the first trial runs.
+	Inject *faultinject.Plan
 
 	// trialFn overrides the trial executor (the pooled engine by default);
-	// recycle tests substitute the construct-per-trial reference path.
+	// recycle tests substitute the construct-per-trial reference path. The
+	// override bypasses the stall watchdog and fault injection.
 	trialFn func(trialSpec) (sim.RunResult, error)
+}
+
+// DefaultQuarantineAfter is the consecutive-fault threshold that
+// quarantines a cell when RunOptions.QuarantineAfter is zero.
+const DefaultQuarantineAfter = 3
+
+// deadlineCheckInterval is how many windows pass between wall-clock reads
+// of the TrialDeadline watchdog: rare enough that time.Since stays off the
+// hot window loop, frequent enough (windows are sub-millisecond) that a
+// runaway trial is caught close to its deadline.
+const deadlineCheckInterval = 32
+
+// trialOutcome is what the hardened trial executor hands the emission path:
+// a clean result, or a fault classification with a human-readable
+// description (the raw material of a fault TrialRecord).
+type trialOutcome struct {
+	res   sim.RunResult
+	kind  string // "" = clean; otherwise a Fault* constant
+	fault string
+}
+
+// firstLine truncates a fault description (which may carry a stack) to its
+// first line for single-line reports.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // cellAgg folds trial results into per-cell aggregates online — the O(cells)
@@ -424,28 +513,134 @@ func (m Matrix) RunWith(opts RunOptions) (*Sweep, error) {
 				i, rec.Key(), want)
 		}
 	}
-	trial := opts.trialFn
-	if trial == nil {
-		trial = runTrial
+	inject := opts.Inject
+	inject.Materialize(total)
+	quarAfter := opts.QuarantineAfter
+	if quarAfter == 0 {
+		quarAfter = DefaultQuarantineAfter
+	}
+
+	// execute runs one live trial through the hardened path: fault
+	// injection, the stall watchdog, and panic recovery. A panic anywhere
+	// below — algorithm step, adversary planning, the engine itself —
+	// becomes a FaultPanic outcome carrying the stack; the poisoned engine
+	// was abandoned by the unwind (see TrialEngine.Release).
+	execute := func(i int, ts trialSpec) (out trialOutcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = trialOutcome{kind: FaultPanic,
+					fault: fmt.Sprintf("panic: %v\n%s", r, debug.Stack())}
+			}
+		}()
+		if opts.trialFn != nil {
+			res, err := opts.trialFn(ts)
+			if err != nil {
+				return trialOutcome{res: res, kind: FaultError, fault: err.Error()}
+			}
+			return trialOutcome{res: res}
+		}
+		var expired func(windows int) bool
+		stallDesc := ""
+		if inject.ShouldPanic(i) {
+			// Panic on the first watchdog poll — after the engine is
+			// acquired, so the injected fault exercises the real
+			// poisoned-engine discard path.
+			key := ts.key()
+			expired = func(int) bool {
+				panic(fmt.Sprintf("faultinject: injected panic (trial %d, %s)", i, key))
+			}
+		} else if w, ok := inject.ShouldStall(i); ok {
+			stallDesc = fmt.Sprintf("faultinject: injected stall at window %d", w)
+			expired = func(windows int) bool { return windows >= w }
+		} else if opts.TrialDeadline > 0 {
+			start := time.Now()
+			deadline := opts.TrialDeadline
+			stallDesc = fmt.Sprintf("trial exceeded wall-clock deadline %s", deadline)
+			expired = func(windows int) bool {
+				return windows%deadlineCheckInterval == 0 && time.Since(start) > deadline
+			}
+		}
+		res, stalled, err := runTrialUntil(ts, expired)
+		if err != nil {
+			return trialOutcome{res: res, kind: FaultError,
+				fault: fmt.Sprintf("%v (trial %d, %s)", err, i, ts.key())}
+		}
+		if stalled {
+			return trialOutcome{res: res, kind: FaultDeadline,
+				fault: fmt.Sprintf("%s after %d windows (trial %d, %s)", stallDesc, res.Windows, i, ts.key())}
+		}
+		return trialOutcome{res: res}
 	}
 
 	agg := newCellAgg(sweep, cells)
-	fn := func(i int) (sim.RunResult, error) {
+	// Quarantine bookkeeping lives on the serial emission path, so the
+	// decision is a pure function of the index-ordered record stream —
+	// identical on serial and parallel runs. quarFlags is only a claim-time
+	// skip hint for workers; it is monotone (set strictly before the flagged
+	// cell's later trials are emitted), so acting on it early never changes
+	// the emitted records, just saves the work of running a doomed trial.
+	var (
+		quarFlags   = make([]atomic.Bool, len(cells))
+		quarantined = make([]bool, len(cells))
+		quarReason  = make([]string, len(cells))
+		consec      = make([]int, len(cells))
+		sinkDropped = make([]bool, len(opts.Sinks))
+	)
+	fn := func(i int) (trialOutcome, error) {
 		if opts.Stop != nil && opts.Stop() {
-			return sim.RunResult{}, ErrInterrupted
+			return trialOutcome{}, ErrInterrupted
 		}
 		if i < len(opts.Resume) {
-			return opts.Resume[i].Result(), nil
+			rec := opts.Resume[i]
+			return trialOutcome{res: rec.Result(), kind: rec.FaultKind, fault: rec.Fault}, nil
 		}
-		return trial(resolved.specAt(cells, i))
+		ts := resolved.specAt(cells, i)
+		if quarFlags[ts.cell].Load() {
+			return trialOutcome{kind: FaultQuarantined}, nil // emit fills the reason
+		}
+		return execute(i, ts), nil
 	}
-	emit := func(i int, res sim.RunResult) error {
-		agg.consume(i/len(resolved.Seeds), res)
+	emit := func(i int, out trialOutcome) error {
+		cell := i / len(resolved.Seeds)
+		if quarantined[cell] {
+			// Deterministic rewrite: once a cell is quarantined every later
+			// trial of it — whether skipped at claim time or already
+			// executed by a worker that ran ahead — emits the same record.
+			out = trialOutcome{kind: FaultQuarantined, fault: quarReason[cell]}
+		}
+		if out.kind == "" {
+			agg.consume(cell, out.res)
+			consec[cell] = 0
+		} else {
+			sweep.Faulted++
+			if out.kind != FaultQuarantined {
+				consec[cell]++
+				if quarAfter > 0 && consec[cell] >= quarAfter && !quarantined[cell] {
+					c := cells[cell]
+					quarantined[cell] = true
+					quarReason[cell] = fmt.Sprintf("cell quarantined after %d consecutive faults", consec[cell])
+					quarFlags[cell].Store(true)
+					sweep.Quarantined = append(sweep.Quarantined,
+						fmt.Sprintf("%s/%s/%s/%s %s: quarantined after %d consecutive faults (last: %s: %s)",
+							c.Algorithm, c.Adversary, c.Scheduler, c.Input, c.Size,
+							consec[cell], out.kind, firstLine(out.fault)))
+				}
+			}
+		}
 		if i >= len(opts.Resume) {
-			rec := newTrialRecord(i, resolved.specAt(cells, i), res)
-			for _, sink := range opts.Sinks {
-				if err := sink.Consume(rec); err != nil {
-					return err
+			rec := newTrialRecord(i, resolved.specAt(cells, i), out.res)
+			rec.FaultKind, rec.Fault = out.kind, out.fault
+			for si, sink := range opts.Sinks {
+				if sinkDropped[si] {
+					continue
+				}
+				if serr := sink.Consume(rec); serr != nil {
+					// Degrade, don't abort: the sweep and its aggregates are
+					// unaffected by a lost export; the drop is reported and
+					// the caller turns it into a non-zero exit.
+					sinkDropped[si] = true
+					sweep.SinkFailures = append(sweep.SinkFailures,
+						fmt.Sprintf("%s: dropped at trial %d: %v", sinkLabel(si, sink), i, serr))
 				}
 			}
 		}
@@ -468,10 +663,15 @@ func (m Matrix) RunWith(opts RunOptions) (*Sweep, error) {
 		err = parallel.Stream(total, 0, fn, emit)
 	}
 	// Flush even on error/interrupt: everything emitted is a consistent
-	// prefix and must reach disk for resume.
-	for _, sink := range opts.Sinks {
-		if ferr := sink.Flush(); ferr != nil && err == nil {
-			err = ferr
+	// prefix and must reach disk for resume. A failing flush on a sink that
+	// is still live degrades like a failing Consume; dropped sinks are
+	// still flushed best-effort (earlier durable bytes may be buffered
+	// below the failure) with the error already reported.
+	for si, sink := range opts.Sinks {
+		if ferr := sink.Flush(); ferr != nil && !sinkDropped[si] {
+			sinkDropped[si] = true
+			sweep.SinkFailures = append(sweep.SinkFailures,
+				fmt.Sprintf("%s: final flush failed: %v", sinkLabel(si, sink), ferr))
 		}
 	}
 	if err != nil {
@@ -484,7 +684,7 @@ func (m Matrix) RunWith(opts RunOptions) (*Sweep, error) {
 
 // serialStream is the serial reference loop for the streaming pipeline —
 // the same fn/emit contract as parallel.Stream on a plain loop.
-func serialStream(n int, fn func(int) (sim.RunResult, error), emit func(int, sim.RunResult) error) error {
+func serialStream[T any](n int, fn func(int) (T, error), emit func(int, T) error) error {
 	for i := 0; i < n; i++ {
 		res, err := fn(i)
 		if err != nil {

@@ -217,15 +217,19 @@ func RegisterAdversary(a Adversary) error {
 	return nil
 }
 
+// mustRegisterAlgorithm panics on registration failure; it is only called
+// from init with built-in descriptors, so a failure is a programming error.
 func mustRegisterAlgorithm(a Algorithm) {
 	if err := RegisterAlgorithm(a); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("registry: registering built-in algorithm %q: %v", a.Name, err))
 	}
 }
 
+// mustRegisterAdversary panics on registration failure; it is only called
+// from init with built-in descriptors, so a failure is a programming error.
 func mustRegisterAdversary(a Adversary) {
 	if err := RegisterAdversary(a); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("registry: registering built-in adversary %q: %v", a.Name, err))
 	}
 }
 

@@ -61,9 +61,11 @@ func RegisterScheduler(s Scheduler) error {
 	return nil
 }
 
+// mustRegisterScheduler panics on registration failure; it is only called
+// from init with built-in descriptors, so a failure is a programming error.
 func mustRegisterScheduler(s Scheduler) {
 	if err := RegisterScheduler(s); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("registry: registering built-in scheduler %q: %v", s.Name, err))
 	}
 }
 

@@ -49,7 +49,35 @@ type TrialRecord struct {
 	Decision int `json:"decision"`
 	// MaxChain mirrors sim.RunResult.MaxChainDepth.
 	MaxChain int `json:"max_chain"`
+	// FaultKind classifies a faulted trial (FaultPanic, FaultDeadline,
+	// FaultError, FaultQuarantined); empty for a clean trial. Both fault
+	// fields marshal with omitempty, so clean records — and therefore whole
+	// clean runs — serialize byte-identically to the pre-fault format.
+	FaultKind string `json:"fault_kind,omitempty"`
+	// Fault is the human-readable fault description (panic value and stack,
+	// deadline report, or quarantine reason); empty for a clean trial.
+	Fault string `json:"fault,omitempty"`
 }
+
+// Fault kinds recorded in TrialRecord.FaultKind.
+const (
+	// FaultPanic marks a trial whose execution panicked; Fault carries the
+	// panic value and the recovered stack.
+	FaultPanic = "panic"
+	// FaultDeadline marks a trial stopped by the stall watchdog; the partial
+	// result fields describe the configuration at the stop.
+	FaultDeadline = "deadline"
+	// FaultError marks a trial whose execution returned an error (an illegal
+	// window, a safety violation, a construction failure).
+	FaultError = "error"
+	// FaultQuarantined marks a trial skipped because its cell was
+	// quarantined after consecutive faults; Fault carries the quarantine
+	// reason.
+	FaultQuarantined = "quarantined"
+)
+
+// Faulted reports whether the record describes a faulted (non-clean) trial.
+func (r TrialRecord) Faulted() bool { return r.FaultKind != "" }
 
 // newTrialRecord assembles the record of one completed trial.
 func newTrialRecord(index int, ts trialSpec, res sim.RunResult) TrialRecord {
@@ -93,6 +121,25 @@ type ResultSink interface {
 	Flush() error
 }
 
+// NamedSink attaches a human-readable name (typically the output path) to a
+// sink so RunWith's degradation reports can say which sink was dropped.
+type NamedSink struct {
+	// Name identifies the sink in failure reports, e.g. its file path.
+	Name string
+	ResultSink
+}
+
+// sinkLabel names a sink for degradation reports.
+func sinkLabel(i int, s ResultSink) string {
+	switch ns := s.(type) {
+	case NamedSink:
+		return ns.Name
+	case *NamedSink:
+		return ns.Name
+	}
+	return fmt.Sprintf("sink %d", i)
+}
+
 // JSONLSink streams records as one JSON object per line — the machine-
 // readable sweep export and the checkpoint body format.
 type JSONLSink struct {
@@ -119,7 +166,17 @@ func (s *JSONLSink) Flush() error { return s.w.Flush() }
 // csvHeader is the CSVSink column order (one column per TrialRecord field).
 var csvHeader = []string{"index", "algorithm", "adversary", "scheduler", "input",
 	"n", "t", "seed", "windows", "first_decision", "all_decided", "agreement",
-	"validity", "decision", "max_chain"}
+	"validity", "decision", "max_chain", "fault_kind", "fault"}
+
+// csvEscape quotes a field per RFC 4180 when it contains a comma, quote, or
+// newline (fault descriptions carry stacks); plain fields — every field of
+// a clean record — pass through unchanged, keeping clean rows byte-stable.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
 
 // CSVSink streams records as comma-separated rows under a fixed header.
 type CSVSink struct {
@@ -150,6 +207,7 @@ func (s *CSVSink) Consume(rec TrialRecord) error {
 		strconv.FormatBool(rec.AllDecided), strconv.FormatBool(rec.Agreement),
 		strconv.FormatBool(rec.Validity), strconv.Itoa(rec.Decision),
 		strconv.Itoa(rec.MaxChain),
+		rec.FaultKind, csvEscape(rec.Fault),
 	}
 	_, err := s.w.WriteString(strings.Join(row, ",") + "\n")
 	return err
@@ -179,52 +237,149 @@ func WriteCheckpointHeader(w io.Writer, grid string) error {
 	return err
 }
 
+// SalvageReport describes what checkpoint loading had to discard to
+// recover a usable prefix. The zero value means the file was pristine.
+type SalvageReport struct {
+	// CorruptLines lists the 1-based line numbers of mid-file records that
+	// failed to parse and were skipped (the following record continued the
+	// index sequence, proving the corrupt line was garbage insertion, not a
+	// lost record).
+	CorruptLines []int
+	// TornTail reports an unparseable final line — the classic shape of a
+	// run killed mid-append — discarded without shortening the prefix.
+	TornTail bool
+	// DroppedAfterGap counts trailing lines (parseable or not) discarded
+	// because a corrupt region swallowed at least one record: the index
+	// sequence could not be re-verified past the gap, so the durable prefix
+	// ends before it.
+	DroppedAfterGap int
+}
+
+// Empty reports whether loading salvaged nothing (the file was pristine).
+func (r *SalvageReport) Empty() bool {
+	return r == nil || len(r.CorruptLines) == 0 && !r.TornTail && r.DroppedAfterGap == 0
+}
+
+// String renders the salvage summary for run logs.
+func (r *SalvageReport) String() string {
+	if r.Empty() {
+		return "checkpoint intact"
+	}
+	var parts []string
+	if n := len(r.CorruptLines); n > 0 {
+		lines := make([]string, n)
+		for i, l := range r.CorruptLines {
+			lines[i] = strconv.Itoa(l)
+		}
+		parts = append(parts, fmt.Sprintf("skipped %d corrupt record(s) (line %s)", n, strings.Join(lines, ",")))
+	}
+	if r.TornTail {
+		parts = append(parts, "discarded torn final line")
+	}
+	if r.DroppedAfterGap > 0 {
+		parts = append(parts, fmt.Sprintf("dropped %d line(s) after an unrecoverable gap", r.DroppedAfterGap))
+	}
+	return "checkpoint salvage: " + strings.Join(parts, "; ")
+}
+
 // LoadCheckpoint reads the completed-trial prefix recorded in a checkpoint
-// file. A missing file yields (nil, nil) — a fresh run. A grid signature
-// mismatch is an error: the trial indices of a different grid would not
-// line up. A torn final line (the run was killed mid-write) is discarded;
-// everything before it is the durable prefix. Records must be the
-// contiguous Index prefix 0..k-1 the index-ordered emission guarantees.
+// file, discarding whatever damage can be proven harmless (see
+// LoadCheckpointSalvage, which it wraps discarding the report).
 func LoadCheckpoint(path, grid string) ([]TrialRecord, error) {
+	records, _, err := LoadCheckpointSalvage(path, grid)
+	return records, err
+}
+
+// LoadCheckpointSalvage reads the completed-trial prefix recorded in a
+// checkpoint file. A missing file yields (nil, nil, nil) — a fresh run. A
+// grid signature mismatch (or an unreadable header) is an error: the trial
+// indices of a different grid would not line up, and a header can't be
+// salvaged because the grid check is what makes the records trustworthy.
+//
+// Body damage is salvaged instead of fatal, and reported:
+//
+//   - A torn final line (the run was killed mid-write) is discarded;
+//     everything before it is the durable prefix.
+//   - A corrupt mid-file record is skipped if the next parseable record
+//     continues the contiguous index sequence 0..k-1 — the skip is
+//     re-verified, so only proven garbage insertions are ignored.
+//   - If the index sequence cannot be re-verified past a corrupt region
+//     (a record was lost inside it), the prefix ends at the last verified
+//     record and everything after the gap is dropped.
+//
+// A non-contiguous index in an otherwise clean file is still an error: with
+// no corruption to blame, the file does not hold the index-ordered prefix
+// emission guarantees, and resuming from it would misalign every trial.
+func LoadCheckpointSalvage(path, grid string) ([]TrialRecord, *SalvageReport, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	if !sc.Scan() {
-		return nil, nil // empty file: treat as fresh
+		return nil, nil, nil // empty file: treat as fresh
 	}
 	var hdr checkpointHeader
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, fmt.Errorf("registry: %s: bad checkpoint header: %w", path, err)
+		return nil, nil, fmt.Errorf("registry: %s: bad checkpoint header: %w", path, err)
 	}
 	if hdr.Version != checkpointVersion {
-		return nil, fmt.Errorf("registry: %s: checkpoint version %d, want %d", path, hdr.Version, checkpointVersion)
+		return nil, nil, fmt.Errorf("registry: %s: checkpoint version %d, want %d", path, hdr.Version, checkpointVersion)
 	}
 	if hdr.Grid != grid {
-		return nil, fmt.Errorf("registry: %s: checkpoint grid %q does not match current grid %q",
+		return nil, nil, fmt.Errorf("registry: %s: checkpoint grid %q does not match current grid %q",
 			path, hdr.Grid, grid)
 	}
-	var records []TrialRecord
+	var (
+		records []TrialRecord
+		rep     = &SalvageReport{}
+		line    = 1   // the header was line 1
+		pending []int // unparseable lines since the last verified record
+	)
 	for sc.Scan() {
+		line++
 		var rec TrialRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			break // torn tail: keep the durable prefix
+			pending = append(pending, line)
+			continue
 		}
-		if rec.Index != len(records) {
-			return nil, fmt.Errorf("registry: %s: checkpoint record %d has index %d (not a contiguous prefix)",
-				path, len(records), rec.Index)
+		if rec.Index == len(records) {
+			// The record continues the prefix: any unparseable lines before
+			// it were garbage insertions, proven skippable.
+			rep.CorruptLines = append(rep.CorruptLines, pending...)
+			pending = nil
+			records = append(records, rec)
+			continue
 		}
-		records = append(records, rec)
+		if len(pending) > 0 || len(rep.CorruptLines) > 0 {
+			// A corrupt region swallowed at least one record; the sequence
+			// cannot be re-verified past the gap, so the prefix ends here.
+			rep.DroppedAfterGap = 1 + len(pending)
+			pending = nil
+			for sc.Scan() {
+				rep.DroppedAfterGap++
+			}
+			break
+		}
+		return nil, nil, fmt.Errorf("registry: %s: checkpoint record %d has index %d (not a contiguous prefix)",
+			path, len(records), rec.Index)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return records, nil
+	switch len(pending) {
+	case 0:
+	case 1:
+		rep.TornTail = true // the classic killed-mid-append shape
+	default:
+		rep.CorruptLines = append(rep.CorruptLines, pending[:len(pending)-1]...)
+		rep.TornTail = true
+	}
+	return records, rep, nil
 }

@@ -1,0 +1,118 @@
+// Package retry provides bounded retry with deterministic backoff for the
+// result-pipeline's I/O edges (sink writes, checkpoint appends).
+//
+// The policy is deliberately minimal and fully deterministic: a fixed
+// attempt budget and an exponential backoff schedule computed purely from
+// the attempt number (no jitter, no clock reads), so a faulted run retries
+// on exactly the same schedule every time — the property the deterministic
+// fault-injection harness (internal/faultinject) asserts on. Sleeping is
+// pluggable so tests and chaos runs execute the schedule without waiting.
+package retry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Policy bounds a retried operation: up to Attempts tries with Backoff
+// sleeps between consecutive tries. The zero Policy is usable and means
+// "one try, no retry".
+type Policy struct {
+	// Attempts is the total number of tries (first try included). Values
+	// below 1 behave as 1.
+	Attempts int
+	// Base is the sleep before the first retry; the delay doubles each
+	// further retry (deterministic exponential backoff, no jitter).
+	Base time.Duration
+	// Max caps the per-retry delay; 0 means uncapped.
+	Max time.Duration
+	// Sleep replaces time.Sleep, letting tests and chaos harnesses run the
+	// schedule without wall-clock waiting. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Backoff returns the deterministic delay before retry number retry
+// (1-based: the sleep between try retry and try retry+1).
+func (p Policy) Backoff(retry int) time.Duration {
+	if p.Base <= 0 || retry < 1 {
+		return 0
+	}
+	d := p.Base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.Max > 0 && d >= p.Max {
+			return p.Max
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		return p.Max
+	}
+	return d
+}
+
+// attempts returns the effective try budget.
+func (p Policy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// sleep waits for d through the configured sleeper.
+func (p Policy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Do runs op up to Attempts times, sleeping Backoff(i) between tries, and
+// returns nil on the first success. On exhaustion it returns the last error
+// wrapped with the attempt count.
+func (p Policy) Do(op func() error) error {
+	var err error
+	n := p.attempts()
+	for i := 1; i <= n; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if i < n {
+			p.sleep(p.Backoff(i))
+		}
+	}
+	if n > 1 {
+		return fmt.Errorf("retry: %d attempts exhausted: %w", n, err)
+	}
+	return err
+}
+
+// Writer wraps w so every Write is retried under the policy. Partial writes
+// are resumed from the failure point (never re-writing bytes the underlying
+// writer already accepted), so a transient failure below a record-oriented
+// sink cannot duplicate or tear records that eventually succeed.
+type Writer struct {
+	w io.Writer
+	p Policy
+}
+
+// NewWriter returns a retrying writer over w.
+func NewWriter(w io.Writer, p Policy) *Writer { return &Writer{w: w, p: p} }
+
+// Write implements io.Writer with bounded per-chunk retry.
+func (rw *Writer) Write(b []byte) (int, error) {
+	written := 0
+	err := rw.p.Do(func() error {
+		n, werr := rw.w.Write(b[written:])
+		written += n
+		if werr == nil && written < len(b) {
+			werr = io.ErrShortWrite
+		}
+		return werr
+	})
+	return written, err
+}

@@ -1,0 +1,140 @@
+package retry
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicSchedule(t *testing.T) {
+	p := Policy{Attempts: 6, Base: 10 * time.Millisecond, Max: 40 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		40 * time.Millisecond, 40 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := (Policy{}).Backoff(1); got != 0 {
+		t.Fatalf("zero policy Backoff = %v, want 0", got)
+	}
+}
+
+func TestDoStopsOnFirstSuccess(t *testing.T) {
+	calls := 0
+	p := Policy{Attempts: 5, Base: time.Hour, Sleep: func(time.Duration) {}}
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d; want nil, 3", err, calls)
+	}
+}
+
+func TestDoExhaustionWrapsLastError(t *testing.T) {
+	sentinel := errors.New("disk full")
+	var slept []time.Duration
+	p := Policy{Attempts: 3, Base: time.Millisecond, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := p.Do(func() error { calls++; return sentinel })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("exhaustion error %v does not wrap the last error", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error %q does not report the attempt count", err)
+	}
+	// Sleeps happen between tries only: 2 sleeps for 3 attempts.
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("sleep schedule = %v, want [1ms 2ms]", slept)
+	}
+}
+
+func TestZeroPolicySingleTry(t *testing.T) {
+	calls := 0
+	err := Policy{}.Do(func() error { calls++; return errors.New("x") })
+	if calls != 1 || err == nil {
+		t.Fatalf("calls = %d err = %v, want 1 try and the bare error", calls, err)
+	}
+	if strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("single-try error should not be wrapped: %q", err)
+	}
+}
+
+// flakyWriter fails (atomically) the first failures writes, then succeeds.
+type flakyWriter struct {
+	sb       strings.Builder
+	failures int
+}
+
+func (f *flakyWriter) Write(b []byte) (int, error) {
+	if f.failures > 0 {
+		f.failures--
+		return 0, errors.New("transient write failure")
+	}
+	return f.sb.Write(b)
+}
+
+func TestWriterAbsorbsTransientFailures(t *testing.T) {
+	fw := &flakyWriter{failures: 2}
+	w := NewWriter(fw, Policy{Attempts: 3, Sleep: func(time.Duration) {}})
+	n, err := w.Write([]byte("hello\n"))
+	if err != nil || n != 6 {
+		t.Fatalf("Write = (%d, %v), want (6, nil)", n, err)
+	}
+	if fw.sb.String() != "hello\n" {
+		t.Fatalf("underlying got %q", fw.sb.String())
+	}
+}
+
+func TestWriterSurfacesPermanentFailure(t *testing.T) {
+	fw := &flakyWriter{failures: 1 << 30}
+	w := NewWriter(fw, Policy{Attempts: 3, Sleep: func(time.Duration) {}})
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("permanent failure not surfaced")
+	}
+}
+
+// partialWriter accepts k bytes then fails once, then accepts everything.
+type partialWriter struct {
+	sb     strings.Builder
+	k      int
+	failed bool
+}
+
+func (p *partialWriter) Write(b []byte) (int, error) {
+	if !p.failed {
+		p.failed = true
+		n := p.k
+		if n > len(b) {
+			n = len(b)
+		}
+		p.sb.Write(b[:n])
+		return n, errors.New("interrupted")
+	}
+	return p.sb.Write(b)
+}
+
+func TestWriterResumesPartialWrites(t *testing.T) {
+	pw := &partialWriter{k: 3}
+	w := NewWriter(pw, Policy{Attempts: 2, Sleep: func(time.Duration) {}})
+	n, err := w.Write([]byte("abcdef"))
+	if err != nil || n != 6 {
+		t.Fatalf("Write = (%d, %v), want (6, nil)", n, err)
+	}
+	if pw.sb.String() != "abcdef" {
+		t.Fatalf("bytes duplicated or lost: %q", pw.sb.String())
+	}
+}
+
+var _ io.Writer = (*Writer)(nil)

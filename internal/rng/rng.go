@@ -10,7 +10,10 @@
 // Source is NOT safe for concurrent use; fork one Source per goroutine.
 package rng
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Source is a deterministic pseudo-random source. The zero value is a valid
 // source seeded with 0; prefer New for explicit seeding.
@@ -46,7 +49,7 @@ func (s *Source) Uint64() uint64 {
 // mirroring math/rand semantics.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn called with n <= 0")
+		panic(fmt.Sprintf("rng: Intn called with n = %d (need n > 0)", n))
 	}
 	// Lemire's multiply-shift rejection method for unbiased bounded values.
 	bound := uint64(n)
@@ -132,7 +135,7 @@ func (s *Source) Subset(n, k int) []int {
 // Subset(len(dst), k). It panics if k > len(dst) or k < 0.
 func (s *Source) SubsetInto(dst []int, k int) []int {
 	if k < 0 || k > len(dst) {
-		panic("rng: SubsetInto called with k out of range")
+		panic(fmt.Sprintf("rng: SubsetInto called with k = %d out of range [0, %d]", k, len(dst)))
 	}
 	// Fisher-Yates over the scratch, then sort by insertion (k is typically
 	// small relative to the cost of importing sort).

@@ -222,12 +222,28 @@ func (s *System) ApplyWindowWith(adv WindowAdversary) error {
 // returns the execution summary and the first error (an illegal window or a
 // detected safety violation).
 func (s *System) RunWindows(adv WindowAdversary, maxWindows int) (RunResult, error) {
+	res, _, err := s.RunWindowsUntil(adv, maxWindows, nil)
+	return res, err
+}
+
+// RunWindowsUntil is RunWindows with a cooperative stall watchdog: expired
+// is polled between windows (with the number of completed windows), and a
+// true return stops the execution there, reporting stalled = true with the
+// partial summary. The check is cooperative on the window boundary — the
+// paper's adversaries can stretch a window's length, not wedge one — so a
+// runaway trial becomes a recorded non-termination outcome instead of a
+// hung worker. A nil expired reproduces RunWindows exactly, and the nil
+// fast path costs the happy path nothing but one comparison per window.
+func (s *System) RunWindowsUntil(adv WindowAdversary, maxWindows int, expired func(windows int) bool) (res RunResult, stalled bool, err error) {
 	for s.windows < maxWindows && !s.AllDecided() {
+		if expired != nil && expired(s.windows) {
+			return s.Result(), true, s.violation
+		}
 		if err := s.ApplyWindowWith(adv); err != nil {
-			return s.Result(), err
+			return s.Result(), false, err
 		}
 	}
-	return s.Result(), s.violation
+	return s.Result(), false, s.violation
 }
 
 // Result summarizes the current configuration.

@@ -24,6 +24,7 @@
 package stream
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -293,7 +294,7 @@ func (h *Hist) Add(v int) {
 // Merge folds o in; both histograms must have the same bucket count.
 func (h *Hist) Merge(o *Hist) {
 	if len(o.counts) != len(h.counts) {
-		panic("stream: merging histograms with different bucket counts")
+		panic(fmt.Sprintf("stream: merging histograms with different bucket counts (%d vs %d)", len(h.counts), len(o.counts)))
 	}
 	for i, c := range o.counts {
 		h.counts[i] += c

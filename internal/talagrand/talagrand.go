@@ -179,7 +179,7 @@ func (s Space) MeasureMC(a Set, samples int, r *rng.Source) float64 {
 // underlying metric). It panics if lengths differ.
 func Hamming(x, y Point) int {
 	if len(x) != len(y) {
-		panic("talagrand: Hamming on points of different dimension")
+		panic(fmt.Sprintf("talagrand: Hamming on points of different dimension (%d vs %d)", len(x), len(y)))
 	}
 	d := 0
 	for i := range x {
