@@ -154,6 +154,11 @@ type Config struct {
 	CoreThresholds *Thresholds
 	// Proposers optionally selects the Paxos proposers (default {0}).
 	Proposers []ProcID
+	// ShardWorkers sets intra-trial parallelism: window delivery (and
+	// sending, where the algorithm declares it safe) runs across this many
+	// goroutines. <= 1 runs serial. Execution output is byte-identical at
+	// every setting; this only changes wall-clock at large N.
+	ShardWorkers int
 }
 
 // params converts the facade config to registry construction parameters.
@@ -161,6 +166,7 @@ func (cfg Config) params() registry.Params {
 	return registry.Params{
 		N: cfg.N, T: cfg.T, Inputs: cfg.Inputs, Seed: cfg.Seed,
 		CoreThresholds: cfg.CoreThresholds, Proposers: cfg.Proposers,
+		ShardWorkers: cfg.ShardWorkers,
 	}
 }
 

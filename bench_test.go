@@ -2,10 +2,11 @@ package asyncagree
 
 // Benchmark harness: one benchmark per experiment in DESIGN.md §5 (the
 // paper has no numbered tables/figures; each theorem or in-text claim has an
-// experiment ID E1..E14), plus substrate micro-benchmarks. Regenerate the
+// experiment ID E1..E15), plus substrate micro-benchmarks. Regenerate the
 // EXPERIMENTS.md tables with `go run ./cmd/experiments -scale full`.
 
 import (
+	"strconv"
 	"testing"
 
 	"asyncagree/internal/adversary"
@@ -46,6 +47,7 @@ func BenchmarkE11Paxos(b *testing.B)           { benchExperiment(b, "E11") }
 func BenchmarkE12NoConflict(b *testing.B)      { benchExperiment(b, "E12") }
 func BenchmarkE13Z1Separation(b *testing.B)    { benchExperiment(b, "E13") }
 func BenchmarkE14SchedCurves(b *testing.B)     { benchExperiment(b, "E14") }
+func BenchmarkE15ScalingCurves(b *testing.B)   { benchExperiment(b, "E15") }
 
 // --- Substrate micro-benchmarks -----------------------------------------
 
@@ -54,8 +56,21 @@ func BenchmarkE14SchedCurves(b *testing.B)     { benchExperiment(b, "E14") }
 // shared with cmd/bench via internal/benchcases so BENCH_baseline.json and
 // this benchmark cannot drift apart.
 func BenchmarkWindowThroughput(b *testing.B) {
-	for _, n := range []int{12, 24, 48} {
+	for _, n := range []int{12, 24, 48, 1024} {
 		b.Run(benchcases.SizeLabel(n), benchcases.WindowThroughput(n))
+	}
+}
+
+// BenchmarkWindowThroughputSharded measures the same hot loop with the
+// sharded window core engaged (worker counts 2 and 4). Output is
+// byte-identical to the serial case; only wall-clock differs — on a
+// multi-core machine the sharded path should win decisively at n >= 256.
+func BenchmarkWindowThroughputSharded(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		for _, w := range []int{2, 4} {
+			b.Run(benchcases.SizeLabel(n)+"/w="+strconv.Itoa(w),
+				benchcases.WindowThroughputSharded(n, w))
+		}
 	}
 }
 

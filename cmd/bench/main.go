@@ -76,8 +76,12 @@ func suite() []struct {
 			fn   func(b *testing.B)
 		}{name, fn})
 	}
-	for _, n := range []int{12, 24, 48} {
+	for _, n := range []int{12, 24, 48, 1024} {
 		add("WindowThroughput/"+benchcases.SizeLabel(n), benchcases.WindowThroughput(n))
+	}
+	for _, n := range []int{256, 1024} {
+		add("WindowThroughputSharded/"+benchcases.SizeLabel(n)+"/w=4",
+			benchcases.WindowThroughputSharded(n, 4))
 	}
 	add("SplitVoteWindow/"+benchcases.SizeLabel(24), benchcases.SplitVoteWindow(24))
 	add("BrachaWindow/"+benchcases.SizeLabel(13), benchcases.BrachaWindow(13))

@@ -47,13 +47,13 @@ func (d *DuelScheduler) NextStep(s *sim.System) (sim.Step, bool) {
 			delete(d.deferred, id)
 			continue
 		}
-		if acc, isAcc := m.Payload.(Accept); isAcc && d.doomed(s, acc.B) {
+		if acc, isAcc := m.Payload.(*Msg); isAcc && acc.Kind == MsgAccept && d.doomed(s, acc.B) {
 			delete(d.deferred, id)
 			return sim.Step{Kind: sim.StepDeliver, MsgID: id}, true
 		}
 	}
 	return d.inner.next(s, func(m sim.Message) bool {
-		if acc, isAcc := m.Payload.(Accept); isAcc && !d.doomed(s, acc.B) {
+		if acc, isAcc := m.Payload.(*Msg); isAcc && acc.Kind == MsgAccept && !d.doomed(s, acc.B) {
 			d.deferred[m.ID] = true
 			return false // withhold until the ballot is doomed
 		}

@@ -30,36 +30,54 @@ import (
 	"asyncagree/internal/sim"
 )
 
-// Wire payload types.
-type (
-	// Prepare is phase 1a.
-	Prepare struct{ B int }
-	// Promise is phase 1b: a promise not to accept ballots below B, with
-	// the highest accepted proposal so far, if any.
-	Promise struct {
-		B         int
-		AcceptedB int
-		AcceptedV sim.Bit
-		Has       bool
-	}
-	// Accept is phase 2a.
-	Accept struct {
-		B int
-		V sim.Bit
-	}
-	// Accepted is phase 2b.
-	Accepted struct {
-		B int
-		V sim.Bit
-	}
-	// Nack rejects a stale ballot, reporting the ballot promised instead.
-	Nack struct {
-		B        int
-		Promised int
-	}
-	// Decided floods a chosen value.
-	Decided struct{ V sim.Bit }
+// MsgKind enumerates the Paxos wire message types.
+type MsgKind uint8
+
+// The six single-decree Paxos message kinds.
+const (
+	// MsgPrepare is phase 1a.
+	MsgPrepare MsgKind = iota + 1
+	// MsgPromise is phase 1b: a promise not to accept ballots below B,
+	// carrying the highest accepted proposal so far (AcceptedB/AcceptedV,
+	// valid when Has).
+	MsgPromise
+	// MsgAccept is phase 2a, proposing V at ballot B.
+	MsgAccept
+	// MsgAccepted is phase 2b.
+	MsgAccepted
+	// MsgNack rejects a stale ballot B, reporting the ballot Promised
+	// instead.
+	MsgNack
+	// MsgDecided floods a chosen value V.
+	MsgDecided
 )
+
+// Msg is the single pooled wire payload: one box type for all six message
+// kinds, recycled through the sending processor's free list via the
+// sim.PayloadReclaimer hook (the same discipline PR 6 established for
+// Bracha's *rbc.Msg). A box is written only by its creator inside its own
+// Send/Deliver step and is read-only while in flight, so sharing one box
+// across the n copies of a broadcast — and delivering those copies from
+// concurrent shards — is safe. Receivers must copy out any field they need
+// beyond the Deliver call: the box returns to its owner's pool when the
+// window's batch is reclaimed.
+type Msg struct {
+	Kind      MsgKind
+	B         int     // ballot (Prepare/Promise/Accept/Accepted/Nack)
+	V         sim.Bit // value (Accept/Accepted/Decided)
+	AcceptedB int     // Promise: highest accepted ballot, valid when Has
+	AcceptedV sim.Bit // Promise: its value
+	Has       bool    // Promise: some proposal was accepted
+	Promised  int     // Nack: the ballot promised instead
+}
+
+// promiseRec is the proposer-side record of one acceptor's Promise: the
+// fields copied out of the (pooled, transient) *Msg box at delivery time.
+type promiseRec struct {
+	acceptedB int
+	acceptedV sim.Bit
+	has       bool
+}
 
 // Params configures a Paxos system.
 type Params struct {
@@ -91,16 +109,22 @@ type Proc struct {
 	// Proposer state.
 	round    int
 	ballot   int
-	promises map[sim.ProcID]Promise
+	promises map[sim.ProcID]promiseRec
 	accepts  map[sim.ProcID]bool
 	phase    int // 0 idle, 1 preparing, 2 accepting
 	propV    sim.Bit
 	maxSeenB int
 
 	outbox []sim.Message
+	// boxPool is the free list of payload boxes this processor owns; boxes
+	// cycle outbox -> buffer -> (window reclaim | recycle sweep) -> here.
+	boxPool []*Msg
 }
 
-var _ sim.Process = (*Proc)(nil)
+var (
+	_ sim.Process          = (*Proc)(nil)
+	_ sim.PayloadReclaimer = (*Proc)(nil)
+)
 
 // New constructs a Paxos processor.
 func New(id sim.ProcID, p Params, input sim.Bit) (*Proc, error) {
@@ -165,14 +189,56 @@ func (p *Proc) startRound(round int) {
 	p.round = round
 	p.ballot = round*p.n + int(p.id)
 	if p.promises == nil {
-		p.promises = make(map[sim.ProcID]Promise, p.n)
+		p.promises = make(map[sim.ProcID]promiseRec, p.n)
 		p.accepts = make(map[sim.ProcID]bool, p.n)
 	} else {
 		clear(p.promises)
 		clear(p.accepts)
 	}
 	p.phase = 1
-	p.broadcast(Prepare{B: p.ballot})
+	m := p.msg(MsgPrepare)
+	m.B = p.ballot
+	p.broadcast(m)
+}
+
+// msg pops a payload box off the free list (or allocates on a cold pool),
+// zeroed except for its kind. Callers fill the kind's fields before the box
+// enters the outbox; after that it is read-only until reclaimed.
+func (p *Proc) msg(k MsgKind) *Msg {
+	if n := len(p.boxPool); n > 0 {
+		b := p.boxPool[n-1]
+		p.boxPool = p.boxPool[:n-1]
+		*b = Msg{Kind: k}
+		return b
+	}
+	return &Msg{Kind: k}
+}
+
+// ReclaimPayload implements sim.PayloadReclaimer: the window pipeline hands
+// back each payload box this processor sent once the window's batch is dead
+// (delivered or dropped), and it returns to the free list for reuse.
+func (p *Proc) ReclaimPayload(payload any) {
+	if b, ok := payload.(*Msg); ok {
+		p.boxPool = append(p.boxPool, b)
+	}
+}
+
+// reclaimOutbox sweeps boxes stranded in an unsent outbox (e.g. responses
+// enqueued in a trial's final window) back to the free list, deduplicating
+// the shared box of a broadcast's consecutive copies.
+func (p *Proc) reclaimOutbox() {
+	var last any
+	for i := range p.outbox {
+		pl := p.outbox[i].Payload
+		if pl == last {
+			continue
+		}
+		last = pl
+		if b, ok := pl.(*Msg); ok {
+			p.boxPool = append(p.boxPool, b)
+		}
+	}
+	p.outbox = p.outbox[:0]
 }
 
 func (p *Proc) broadcast(payload any) {
@@ -194,39 +260,55 @@ func (p *Proc) Send() []sim.Message {
 	return out
 }
 
-// Deliver implements sim.Process.
+// Deliver implements sim.Process. Fields needed past this call are copied
+// out of the pooled box (promiseRec); the box itself is never retained.
 func (p *Proc) Deliver(m sim.Message, _ sim.RandSource) {
-	switch msg := m.Payload.(type) {
-	case Prepare:
+	msg, ok := m.Payload.(*Msg)
+	if !ok {
+		return
+	}
+	switch msg.Kind {
+	case MsgPrepare:
 		p.trackBallot(msg.B)
 		if msg.B > p.promisedB {
 			p.promisedB = msg.B
-			p.sendTo(m.From, Promise{B: msg.B, AcceptedB: p.acceptedB, AcceptedV: p.acceptedV, Has: p.hasAcc})
+			r := p.msg(MsgPromise)
+			r.B, r.AcceptedB, r.AcceptedV, r.Has = msg.B, p.acceptedB, p.acceptedV, p.hasAcc
+			p.sendTo(m.From, r)
 		} else {
-			p.sendTo(m.From, Nack{B: msg.B, Promised: p.promisedB})
+			p.nack(m.From, msg.B)
 		}
-	case Accept:
+	case MsgAccept:
 		p.trackBallot(msg.B)
 		if msg.B >= p.promisedB {
 			p.promisedB = msg.B
 			p.acceptedB = msg.B
 			p.acceptedV = msg.V
 			p.hasAcc = true
-			p.sendTo(m.From, Accepted{B: msg.B, V: msg.V})
+			r := p.msg(MsgAccepted)
+			r.B, r.V = msg.B, msg.V
+			p.sendTo(m.From, r)
 		} else {
-			p.sendTo(m.From, Nack{B: msg.B, Promised: p.promisedB})
+			p.nack(m.From, msg.B)
 		}
-	case Promise:
+	case MsgPromise:
 		p.onPromise(m.From, msg)
-	case Accepted:
+	case MsgAccepted:
 		p.onAccepted(m.From, msg)
-	case Nack:
+	case MsgNack:
 		p.onNack(msg)
-	case Decided:
+	case MsgDecided:
 		if !p.decided {
 			p.out, p.decided = msg.V, true
 		}
 	}
+}
+
+// nack rejects ballot b, reporting the ballot promised instead.
+func (p *Proc) nack(to sim.ProcID, b int) {
+	r := p.msg(MsgNack)
+	r.B, r.Promised = b, p.promisedB
+	p.sendTo(to, r)
 }
 
 func (p *Proc) trackBallot(b int) {
@@ -235,11 +317,11 @@ func (p *Proc) trackBallot(b int) {
 	}
 }
 
-func (p *Proc) onPromise(from sim.ProcID, msg Promise) {
+func (p *Proc) onPromise(from sim.ProcID, msg *Msg) {
 	if !p.proposer || p.phase != 1 || msg.B != p.ballot {
 		return
 	}
-	p.promises[from] = msg
+	p.promises[from] = promiseRec{acceptedB: msg.AcceptedB, acceptedV: msg.AcceptedV, has: msg.Has}
 	if len(p.promises) < p.quorum() {
 		return
 	}
@@ -248,17 +330,19 @@ func (p *Proc) onPromise(from sim.ProcID, msg Promise) {
 	v := p.input
 	bestB := -1
 	for _, pr := range p.promises {
-		if pr.Has && pr.AcceptedB > bestB {
-			bestB = pr.AcceptedB
-			v = pr.AcceptedV
+		if pr.has && pr.acceptedB > bestB {
+			bestB = pr.acceptedB
+			v = pr.acceptedV
 		}
 	}
 	p.propV = v
 	p.phase = 2
-	p.broadcast(Accept{B: p.ballot, V: v})
+	m := p.msg(MsgAccept)
+	m.B, m.V = p.ballot, v
+	p.broadcast(m)
 }
 
-func (p *Proc) onAccepted(from sim.ProcID, msg Accepted) {
+func (p *Proc) onAccepted(from sim.ProcID, msg *Msg) {
 	if !p.proposer || p.phase != 2 || msg.B != p.ballot {
 		return
 	}
@@ -271,10 +355,12 @@ func (p *Proc) onAccepted(from sim.ProcID, msg Accepted) {
 		p.out, p.decided = p.propV, true
 	}
 	p.phase = 0
-	p.broadcast(Decided{V: p.propV})
+	m := p.msg(MsgDecided)
+	m.V = p.propV
+	p.broadcast(m)
 }
 
-func (p *Proc) onNack(msg Nack) {
+func (p *Proc) onNack(msg *Msg) {
 	if !p.proposer || p.phase == 0 || msg.B != p.ballot {
 		return
 	}
@@ -288,10 +374,14 @@ func (p *Proc) onNack(msg Nack) {
 }
 
 // Recycle implements sim.Recycler: it rewinds the processor to the state
-// New would produce for the given input, keeping the quorum maps and outbox
-// capacity. The proposer role persists — a processor is only ever recycled
-// into a trial with the same proposer set.
+// New would produce for the given input, keeping the quorum maps, the
+// payload-box pool, and outbox capacity. Boxes stranded in an unsent outbox
+// (responses enqueued in the trial's final window) are swept back to the
+// pool first, so steady-state recycled trials allocate nothing. The
+// proposer role persists — a processor is only ever recycled into a trial
+// with the same proposer set.
 func (p *Proc) Recycle(input sim.Bit) {
+	p.reclaimOutbox()
 	p.input = input
 	p.out, p.decided = 0, false
 	p.promisedB = -1
@@ -307,7 +397,6 @@ func (p *Proc) Recycle(input sim.Bit) {
 	p.phase = 0
 	p.propV = 0
 	p.maxSeenB = -1
-	p.outbox = p.outbox[:0]
 	if p.proposer {
 		p.startRound(1)
 	}
@@ -317,17 +406,24 @@ func (p *Proc) Recycle(input sim.Bit) {
 // safety; a reset erases it, and the paper's model is exactly the one where
 // such erasure is adversarial. Like Ben-Or, Paxos is not reset-tolerant;
 // the processor restarts with empty state (safety may then be violated,
-// which experiments demonstrate as a contrast to the core algorithm).
+// which experiments demonstrate as a contrast to the core algorithm). The
+// written output survives (the write-once register is durable), as do the
+// recycled containers (maps, box pool, outbox capacity).
 func (p *Proc) Reset() {
-	out, decided := p.out, p.decided
-	proposer := p.proposer
-	fresh, err := New(p.id, Params{N: p.n}, p.input)
-	if err != nil {
-		return // unreachable: n was validated at construction
+	p.reclaimOutbox()
+	p.promisedB = -1
+	p.acceptedB = -1
+	p.acceptedV = 0
+	p.hasAcc = false
+	p.round = 0
+	p.ballot = 0
+	if p.promises != nil {
+		clear(p.promises)
+		clear(p.accepts)
 	}
-	*p = *fresh
-	p.proposer = proposer
-	p.out, p.decided = out, decided
+	p.phase = 0
+	p.propV = 0
+	p.maxSeenB = -1
 	if p.proposer {
 		p.startRound(1)
 	}

@@ -54,6 +54,12 @@ type Matrix struct {
 	Seeds []uint64
 	// MaxWindows is the per-trial window budget; 0 = DefaultMatrix().MaxWindows.
 	MaxWindows int
+	// ShardWorkers sets the intra-trial parallelism of every trial (see
+	// Params.ShardWorkers); <= 1 runs the serial facade. Per-trial output is
+	// byte-identical at any setting, so it is a performance knob, not a grid
+	// axis: it is deliberately excluded from GridSignature, and a sweep
+	// checkpointed at one worker count may resume at another.
+	ShardWorkers int
 }
 
 // DefaultMatrix returns the default sweep grid: every registered algorithm
@@ -135,8 +141,9 @@ func (s *Sweep) Healthy() bool {
 type trialSpec struct {
 	cell int // index into the expanded cell list
 	Cell
-	seed       uint64
-	maxWindows int
+	seed         uint64
+	maxWindows   int
+	shardWorkers int
 }
 
 // key renders the trial's stable identity. It delegates to
@@ -275,6 +282,7 @@ func (m Matrix) specAt(cells []Cell, i int) trialSpec {
 	return trialSpec{
 		cell: i / s, Cell: cells[i/s],
 		seed: m.Seeds[i%s], maxWindows: m.MaxWindows,
+		shardWorkers: m.ShardWorkers,
 	}
 }
 
@@ -302,7 +310,8 @@ func runTrial(ts trialSpec) (sim.RunResult, error) {
 	if err != nil {
 		return sim.RunResult{}, err
 	}
-	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed}
+	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed,
+		ShardWorkers: ts.shardWorkers}
 	return RunPooledTrial(ts.Algorithm, ts.Adversary, ts.Scheduler, p, ts.maxWindows)
 }
 
@@ -315,7 +324,8 @@ func runTrialUntil(ts trialSpec, expired func(windows int) bool) (sim.RunResult,
 	if err != nil {
 		return sim.RunResult{}, false, err
 	}
-	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed}
+	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed,
+		ShardWorkers: ts.shardWorkers}
 	e, err := AcquireTrial(ts.Algorithm, ts.Adversary, ts.Scheduler, p)
 	if err != nil {
 		return sim.RunResult{}, false, err
@@ -333,7 +343,8 @@ func runTrialFresh(ts trialSpec) (sim.RunResult, error) {
 	if err != nil {
 		return sim.RunResult{}, err
 	}
-	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed}
+	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed,
+		ShardWorkers: ts.shardWorkers}
 	sys, err := NewSystem(ts.Algorithm, p)
 	if err != nil {
 		return sim.RunResult{}, err

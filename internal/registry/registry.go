@@ -85,6 +85,14 @@ type Params struct {
 	CoreThresholds *core.Thresholds
 	// Proposers optionally selects the Paxos proposers (default {0}).
 	Proposers []sim.ProcID
+	// ShardWorkers sets the intra-trial parallelism of the sharded window
+	// core (sim.SetShardWorkers): <= 1 runs the serial facade; k >= 2 runs
+	// window delivery (and sending, where the algorithm declares it safe)
+	// across k goroutines. Observable behavior is byte-identical at every
+	// setting, so this is a performance knob, not an execution parameter —
+	// it is deliberately excluded from sweep grid signatures and engine pool
+	// keys. Applied only when the algorithm's ParallelDelivery flag is set.
+	ShardWorkers int
 }
 
 // Algorithm is a self-describing agreement protocol entry.
@@ -118,6 +126,15 @@ type Algorithm struct {
 	// internal Bracha instance); the sweep matrix pairs these algorithms
 	// only with loss-free adversaries.
 	NeedsFullDelivery bool
+	// ParallelDelivery declares that the algorithm's Deliver touches only
+	// the receiving processor's own state (plus read-only shared payloads),
+	// so distinct receivers may be delivered to concurrently and the sharded
+	// window core (Params.ShardWorkers) may engage.
+	ParallelDelivery bool
+	// ParallelSend declares the same independence for Send: no mutable
+	// state shared across senders, so the per-sender collection loop may
+	// shard too. Only consulted when ParallelDelivery is set.
+	ParallelSend bool
 	// Validate checks p without building anything.
 	Validate func(p Params) error
 	// Factory returns the per-processor sim.Process constructor. It may
@@ -308,10 +325,28 @@ func NewSystem(alg string, p Params) (*sim.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.New(sim.Config{
+	sys, err := sim.New(sim.Config{
 		N: p.N, T: p.T, Seed: p.Seed, Inputs: p.Inputs,
 		NewProcess: factory,
 	})
+	if err != nil {
+		return nil, err
+	}
+	applyShardParams(sys, a, p)
+	return sys, nil
+}
+
+// applyShardParams configures the sharded window core on sys from the
+// descriptor's concurrency-safety declarations and the requested worker
+// count. Safe to call on every pooled-engine acquisition: sim.System keeps
+// its worker pool when the count is unchanged.
+func applyShardParams(sys *sim.System, a *Algorithm, p Params) {
+	workers := 1
+	if a.ParallelDelivery && p.ShardWorkers > 1 {
+		workers = p.ShardWorkers
+	}
+	sys.SetShardWorkers(workers)
+	sys.SetParallelSend(a.ParallelSend)
 }
 
 // NewAdversary constructs fresh per-trial adversary state for the named

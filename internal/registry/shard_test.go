@@ -1,0 +1,160 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"asyncagree/internal/sim"
+)
+
+// TestShardedTrialMatchesSerial is the determinism contract of the sharded
+// window core: for every compatible algorithm × adversary × scheduler triple
+// at the smoke-grid shapes, running a trial at shard-worker counts 2 and 4 —
+// on fresh and on recycled engines — is byte-identical (every trace event,
+// the run summary, and the final per-processor state) to the serial facade.
+// Under -race this doubles as the data-race proof for the phase protocol.
+func TestShardedTrialMatchesSerial(t *testing.T) {
+	small := Matrix{
+		Sizes:      []Size{{N: 12, T: 1}},
+		Inputs:     []string{"split"},
+		Seeds:      []uint64{3},
+		MaxWindows: 400,
+	}
+	trials, err := small.allSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	committee := Matrix{
+		Algorithms: []string{"committee"},
+		Sizes:      []Size{{N: 27, T: 3}},
+		Inputs:     []string{"split"},
+		Seeds:      []uint64{3},
+		MaxWindows: 400,
+	}
+	committeeTrials, err := committee.allSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials = append(trials, committeeTrials...)
+	if len(trials) == 0 {
+		t.Fatal("smoke grid expanded to no trials")
+	}
+	for _, ts := range trials {
+		ts := ts
+		name := fmt.Sprintf("%s_%s_%s_%s", ts.Algorithm, ts.Adversary, ts.Scheduler, ts.Size)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			inputs, err := Inputs(ts.Input, ts.Size.N, ts.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed}
+
+			// Serial reference execution (worker count 1).
+			sys, err := NewSystem(ts.Algorithm, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := NewScheduledAdversary(ts.Adversary, ts.Scheduler, ts.Algorithm, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sEvents, sRes, sSnap, sErr := traceRun(sys, plan, ts.maxWindows)
+
+			for _, workers := range []int{2, 4} {
+				p := serial
+				p.ShardWorkers = workers
+
+				// Fresh sharded execution.
+				shSys, err := NewSystem(ts.Algorithm, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shPlan, err := NewScheduledAdversary(ts.Adversary, ts.Scheduler, ts.Algorithm, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fEvents, fRes, fSnap, fErr := traceRun(shSys, shPlan, ts.maxWindows)
+				compareTraces(t, fmt.Sprintf("fresh w=%d", workers),
+					sEvents, sRes, sSnap, sErr, fEvents, fRes, fSnap, fErr)
+
+				// Recycled sharded execution: dirty a fresh engine with a
+				// warm-up trial on another seed/pattern, then rewind it.
+				warmInputs, err := Inputs("ones", ts.Size.N, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm := Params{N: ts.Size.N, T: ts.Size.T, Inputs: warmInputs,
+					Seed: 99, ShardWorkers: workers}
+				key := engineKey{alg: ts.Algorithm, adv: ts.Adversary, sched: ts.Scheduler,
+					n: ts.Size.N, t: ts.Size.T}
+				e, err := newTrialEngine(key, warm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.Run(150); err != nil {
+					t.Fatalf("warm-up trial: %v", err)
+				}
+				if err := e.prepare(p); err != nil {
+					t.Fatalf("prepare: %v", err)
+				}
+				rEvents, rRes, rSnap, rErr := traceRun(e.sys, e.plan, ts.maxWindows)
+				compareTraces(t, fmt.Sprintf("recycled w=%d", workers),
+					sEvents, sRes, sSnap, sErr, rEvents, rRes, rSnap, rErr)
+			}
+		})
+	}
+}
+
+// compareTraces asserts that a sharded execution's observables are
+// byte-identical to the serial reference.
+func compareTraces(t *testing.T, label string,
+	sEvents []string, sRes sim.RunResult, sSnap []string, sErr error,
+	events []string, res sim.RunResult, snap []string, err error) {
+	t.Helper()
+	if (sErr == nil) != (err == nil) || (sErr != nil && sErr.Error() != err.Error()) {
+		t.Fatalf("%s: errors diverged: serial %v, sharded %v", label, sErr, err)
+	}
+	if sRes != res {
+		t.Fatalf("%s: results diverged:\nserial  %+v\nsharded %+v", label, sRes, res)
+	}
+	if len(sEvents) != len(events) {
+		t.Fatalf("%s: event counts diverged: serial %d, sharded %d", label, len(sEvents), len(events))
+	}
+	for i := range sEvents {
+		if sEvents[i] != events[i] {
+			t.Fatalf("%s: event %d diverged:\nserial  %s\nsharded %s", label, i, sEvents[i], events[i])
+		}
+	}
+	if len(sSnap) != len(snap) {
+		t.Fatalf("%s: snapshot lengths diverged: serial %d, sharded %d", label, len(sSnap), len(snap))
+	}
+	for i := range sSnap {
+		if sSnap[i] != snap[i] {
+			t.Fatalf("%s: processor %d state diverged:\nserial  %q\nsharded %q", label, i, sSnap[i], snap[i])
+		}
+	}
+}
+
+// TestShardWorkersRequiresDescriptorOptIn pins the gate: a ShardWorkers
+// request engages the sharded core only for algorithms whose descriptor
+// declares ParallelDelivery (all current ones do), and k <= 1 always selects
+// the serial facade.
+func TestShardWorkersRequiresDescriptorOptIn(t *testing.T) {
+	p := Params{N: 12, T: 1, Inputs: SplitInputs(12), Seed: 1, ShardWorkers: 4}
+	sys, err := NewSystem("core", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ShardWorkers(); got != 4 {
+		t.Fatalf("ShardWorkers = %d, want 4", got)
+	}
+	p.ShardWorkers = 0
+	sys, err = NewSystem("core", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ShardWorkers(); got != 1 {
+		t.Fatalf("ShardWorkers = %d, want serial 1", got)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"asyncagree/internal/rng"
 )
@@ -129,6 +130,23 @@ type System struct {
 	allowWords   int
 	allowBits    []uint64
 	allowAll     []bool
+
+	// Sharded window core state (shard.go, shardpool.go). shardWorkers is
+	// the configured parallelism (<= 1 selects the serial facade above);
+	// parallelSend additionally shards WindowSend when the algorithm
+	// declares its Send concurrency-safe. The pool, per-shard scratch, and
+	// order buffers are lazily built on the first sharded window and — like
+	// the serial scratch — deliberately survive Recycle, so a pooled trial
+	// engine keeps its worker goroutines hot across thousands of trials.
+	shardWorkers int
+	parallelSend bool
+	shardPool    *shardPool
+	shardCleanup runtime.Cleanup
+	shards       []windowShard
+	shardSenders [][]ProcID // phaseValidate input; nil outside that phase
+	orderIdx     []int32    // batch indices bucketed by receiver
+	orderOff     []int32    // orderIdx bucket offsets, len n+1
+	orderPos     []int32    // bucket fill cursors, len n
 }
 
 // New constructs a System, instantiating one Process per processor.
