@@ -55,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asyncagree/internal/ckptio"
 	"asyncagree/internal/faultinject"
 	"asyncagree/internal/registry"
 	"asyncagree/internal/retry"
@@ -315,16 +316,6 @@ func run(args []string, out io.Writer, interrupted func() bool) error {
 	return nil
 }
 
-// hardenWriter stacks the streaming-phase write path under a sink: the raw
-// file, then the injected-failure writer (chaos testing), then the retrying
-// writer. Retry must sit between the failure source and the sink's internal
-// bufio (which latches the first error forever), so a transient failure is
-// absorbed invisibly and only an exhausted retry budget reaches the sink —
-// where RunWith drops it and reports the degradation.
-func hardenWriter(f *os.File, pol retry.Policy, failures *faultinject.WriteFailures) io.Writer {
-	return retry.NewWriter(failures.Writer(f), pol)
-}
-
 // openOutSink prepares the per-trial record export: the file is rewritten
 // from the resumed prefix (healing any torn tail of the interrupted run)
 // and the returned sink appends the remaining live trials, so the finished
@@ -333,7 +324,7 @@ func hardenWriter(f *os.File, pol retry.Policy, failures *faultinject.WriteFailu
 // not (it already fails safe: temp file + rename).
 func openOutSink(path string, prefix []registry.TrialRecord, pol retry.Policy, failures *faultinject.WriteFailures) (registry.ResultSink, *os.File, error) {
 	csv := strings.EqualFold(filepath.Ext(path), ".csv")
-	f, err := rewriteThenAppend(path, func(w io.Writer) error {
+	f, err := ckptio.RewriteThenAppend(path, func(w io.Writer) error {
 		var sink registry.ResultSink
 		if csv {
 			sink = registry.NewCSVSink(w)
@@ -350,7 +341,7 @@ func openOutSink(path string, prefix []registry.TrialRecord, pol retry.Policy, f
 	if err != nil {
 		return nil, nil, err
 	}
-	w := hardenWriter(f, pol, failures)
+	w := ckptio.HardenWriter(f, pol, failures)
 	if csv {
 		s := registry.NewCSVSink(w)
 		if len(prefix) > 0 {
@@ -366,7 +357,7 @@ func openOutSink(path string, prefix []registry.TrialRecord, pol retry.Policy, f
 // completed trial as it is emitted — through the same retry/fault-injection
 // stack as the record export.
 func openCheckpointSink(path, grid string, prefix []registry.TrialRecord, pol retry.Policy, failures *faultinject.WriteFailures) (registry.ResultSink, *os.File, error) {
-	f, err := rewriteThenAppend(path, func(w io.Writer) error {
+	f, err := ckptio.RewriteThenAppend(path, func(w io.Writer) error {
 		if err := registry.WriteCheckpointHeader(w, grid); err != nil {
 			return err
 		}
@@ -381,31 +372,7 @@ func openCheckpointSink(path, grid string, prefix []registry.TrialRecord, pol re
 	if err != nil {
 		return nil, nil, err
 	}
-	return registry.NewJSONLSink(hardenWriter(f, pol, failures)), f, nil
-}
-
-// rewriteThenAppend atomically replaces path with the bytes head writes
-// (temp file + rename, so a crash mid-rewrite never loses the old file),
-// then reopens it for appending.
-func rewriteThenAppend(path string, head func(io.Writer) error) (*os.File, error) {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return nil, err
-	}
-	if err := head(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return nil, err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return nil, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return nil, err
-	}
-	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	return registry.NewJSONLSink(ckptio.HardenWriter(f, pol, failures)), f, nil
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,50 @@
+// Package ckptio holds the small file plumbing shared by the streaming,
+// resumable CLIs (cmd/sweep, cmd/search): atomic rewrite-then-append for
+// checkpoint and export files, and the hardened writer stack that threads
+// fault injection below bounded retry.
+package ckptio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"asyncagree/internal/faultinject"
+	"asyncagree/internal/retry"
+)
+
+// RewriteThenAppend atomically replaces path with the bytes head writes
+// (temp file + rename, so a crash mid-rewrite never loses the old file),
+// then reopens it for appending. Resumable outputs use it to rewrite the
+// verified prefix — healing any torn tail of an interrupted run — before
+// live records stream onto the end.
+func RewriteThenAppend(path string, head func(io.Writer) error) (*os.File, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	if err := head(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// HardenWriter stacks the streaming-phase write path under a sink: the raw
+// file, then the injected-failure writer (chaos testing), then the retrying
+// writer. Retry must sit between the failure source and the sink's internal
+// bufio (which latches the first error forever), so a transient failure is
+// absorbed invisibly and only an exhausted retry budget reaches the sink —
+// where the run loop drops it and reports the degradation.
+func HardenWriter(f *os.File, pol retry.Policy, failures *faultinject.WriteFailures) io.Writer {
+	return retry.NewWriter(failures.Writer(f), pol)
+}

@@ -3,7 +3,7 @@
 // so each theorem or in-text argument gets an experiment; see DESIGN.md §5
 // and EXPERIMENTS.md for the index).
 //
-// Each experiment is registered under a stable ID (E1..E15) and runs at one
+// Each experiment is registered under a stable ID (E1..E16) and runs at one
 // of two scales: ScaleQuick for CI/tests and ScaleFull for the numbers
 // recorded in EXPERIMENTS.md. All experiments are deterministic given their
 // built-in seeds.
@@ -66,6 +66,7 @@ func All() []Experiment {
 		{ID: "E13", Title: "Lemma 13 (k=1): Hamming separation of the Monte-Carlo Z^1 sets", Run: runE13},
 		{ID: "E14", Title: "Scheduler sensitivity: E8/E9 decision-round curves across delivery disciplines", Run: runE14},
 		{ID: "E15", Title: "Scaling curves: decision latency and stall behavior vs n under the sharded window core", Run: runE15},
+		{ID: "E16", Title: "Adversary search: optimized stall frontier vs the replayed Theorem 5 construction", Run: runE16},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idLess(exps[i].ID, exps[j].ID) })
 	return exps

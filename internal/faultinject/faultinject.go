@@ -122,8 +122,13 @@ func ParseTrialSet(s string) (*TrialSet, error) {
 				return nil, fmt.Errorf("faultinject: bad trial range %q", part)
 			}
 		}
-		for i := a; i <= b; i++ {
+		// i == b terminates the walk (not i <= b): with b == MaxInt the
+		// increment would wrap and the condition would never go false.
+		for i := a; ; i++ {
 			set.explicit[i] = true
+			if i == b {
+				break
+			}
 		}
 	}
 	if len(set.explicit) == 0 {

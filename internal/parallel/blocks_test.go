@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// blockAcc records the contiguous index ranges one Reduce block folded, so
+// a test can observe the partition Reduce actually used.
+type blockAcc struct {
+	ranges [][2]int
+}
+
+func foldIndex(a *blockAcc, i int) (*blockAcc, error) {
+	if n := len(a.ranges); n > 0 && a.ranges[n-1][1] == i {
+		a.ranges[n-1][1] = i + 1
+	} else {
+		a.ranges = append(a.ranges, [2]int{i, i + 1})
+	}
+	return a, nil
+}
+
+func mergeAccs(into, from *blockAcc) *blockAcc {
+	into.ranges = append(into.ranges, from.ranges...)
+	return into
+}
+
+// expectedBlocks is the documented partition: min(n, 64) contiguous blocks
+// with block b covering [b*n/blocks, (b+1)*n/blocks).
+func expectedBlocks(n int) [][2]int {
+	blocks := n
+	if blocks > 64 {
+		blocks = 64
+	}
+	var out [][2]int
+	for b := 0; b < blocks; b++ {
+		lo, hi := b*n/blocks, (b+1)*n/blocks
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// TestReduceBlockBoundariesPureFunctionOfN is the regression guard against
+// the worker count leaking into the reduction shape: the block partition —
+// and with it every merge tree and its floating-point rounding — must be
+// exactly the documented function of n at any GOMAXPROCS setting.
+func TestReduceBlockBoundariesPureFunctionOfN(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2, 4, old} {
+		runtime.GOMAXPROCS(procs)
+		for _, n := range []int{1, 2, 5, 63, 64, 65, 100, 129, 1000} {
+			acc, err := Reduce(n,
+				func() *blockAcc { return &blockAcc{} },
+				foldIndex, mergeAccs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := expectedBlocks(n); !reflect.DeepEqual(acc.ranges, want) {
+				t.Fatalf("GOMAXPROCS=%d n=%d: blocks %v, want %v", procs, n, acc.ranges, want)
+			}
+		}
+	}
+}
+
+// TestReduceBlockCountCapped pins the fixed upper bound itself: however
+// large n grows, the partition stays at reduceMaxBlocks blocks.
+func TestReduceBlockCountCapped(t *testing.T) {
+	acc, err := Reduce(10_000,
+		func() *blockAcc { return &blockAcc{} },
+		foldIndex, mergeAccs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acc.ranges) != reduceMaxBlocks {
+		t.Fatalf("n=10000 folded in %d blocks, want %d", len(acc.ranges), reduceMaxBlocks)
+	}
+}

@@ -45,11 +45,25 @@ func init() {
 		Description:  "chaos + resets: random (n-t)-subset deliveries and up to t random resets per window",
 		Resets:       true,
 		PlansSenders: true,
+		Knobs: []Knob{
+			{Name: "resetpct", Description: "per-window reset probability, in percent", Min: 0, Max: 100, Default: 50},
+			{Name: "maxresets", Description: "reset budget per window (always capped at the cell's t)", Min: 0, Max: 8, Default: 8},
+		},
 		Compatible: func(alg *Algorithm, p Params) bool {
 			return windowCapable(alg, p) && alg.ResetTolerant
 		},
 		New: func(_ *Algorithm, p Params) (sim.WindowAdversary, error) {
-			return adversary.NewRandomWindows(p.Seed, 0.5, p.T), nil
+			// A nil knob vector is the exact historical construction; the
+			// knobbed path reproduces it at the declared defaults for every
+			// sweep-grid size (t <= 8, so min(8, t) = t).
+			prob, budget := 0.5, p.T
+			if p.AdvKnobs != nil {
+				prob = float64(knob(p, 0, 50)) / 100
+				if budget = knob(p, 1, 8); budget > p.T {
+					budget = p.T
+				}
+			}
+			return adversary.NewRandomWindows(p.Seed, prob, budget), nil
 		},
 		Recycle: recycleRandomWindows,
 	})
@@ -77,19 +91,28 @@ func init() {
 		Name:         "silence",
 		Description:  "fixed silence: never deliver from the first t processors (Lemmas 11/13)",
 		PlansSenders: true,
+		Knobs: []Knob{
+			{Name: "offset", Description: "first silenced processor; the silent set is offset..offset+t-1 (mod n)", Min: 0, Max: 63, Default: 0},
+		},
 		Compatible: func(alg *Algorithm, p Params) bool {
 			return windowCapable(alg, p) && alg.SilenceTolerant
 		},
 		New: func(_ *Algorithm, p Params) (sim.WindowAdversary, error) {
+			off := knob(p, 0, 0)
 			silent := make([]sim.ProcID, 0, p.T)
 			for i := 0; i < p.T; i++ {
-				silent = append(silent, sim.ProcID(i))
+				id := off + i
+				if p.N > 0 {
+					id %= p.N // degenerate params fail NewFixedSilence's checks
+				}
+				silent = append(silent, sim.ProcID(id))
 			}
 			return adversary.NewFixedSilence(p.N, p.T, silent)
 		},
 		Recycle: func(adv sim.WindowAdversary, _ Params) bool {
-			// The silent set is a function of the cell's (n, t), which the
-			// engine pool keys on, so a pooled instance is already correct.
+			// The silent set is a function of the cell's (n, t) and the offset
+			// knob, all of which the engine pool keys on, so a pooled instance
+			// is already correct.
 			_, ok := adv.(adversary.FixedSilence)
 			return ok
 		},
@@ -99,6 +122,9 @@ func init() {
 		Name:         "splitvote",
 		Description:  "Section 3 stalling strategy: show every processor an approximate split of the round's votes",
 		PlansSenders: true,
+		Knobs: []Knob{
+			{Name: "capdelta", Description: "offset on the per-receiver vote cap (0 = the construction's cap, e.g. T3-1 for core)", Min: -6, Max: 2, Default: 0},
+		},
 		Compatible: func(alg *Algorithm, p Params) bool {
 			return windowCapable(alg, p) && alg.SupportsSplitVote()
 		},
@@ -109,6 +135,9 @@ func init() {
 			cap, err := alg.SplitVoteCap(p)
 			if err != nil {
 				return nil, err
+			}
+			if cap += knob(p, 0, 0); cap < 1 {
+				cap = 1
 			}
 			return adversary.NewSplitVote(alg.ClassifyVote, cap), nil
 		},
@@ -122,9 +151,21 @@ func init() {
 	})
 }
 
+// knob reads the i-th adversary knob value from p, falling back to def when
+// the caller left the knobs at their defaults (nil AdvKnobs) or supplied a
+// short vector (which ValidateKnobs rejects on every registry entry point;
+// the bounds check here just keeps a direct New call from panicking).
+func knob(p Params, i, def int) int {
+	if i < len(p.AdvKnobs) {
+		return p.AdvKnobs[i]
+	}
+	return def
+}
+
 // recycleRandomWindows rewinds pooled chaos-adversary state: reseeding the
 // stream reproduces a fresh NewRandomWindows construction (the reset
-// probability and budget are functions of the cell, which the pool keys on).
+// probability and budget are functions of the cell and its knob vector,
+// which the pool keys on).
 func recycleRandomWindows(adv sim.WindowAdversary, p Params) bool {
 	a, ok := adv.(*adversary.RandomWindows)
 	if ok {

@@ -32,10 +32,10 @@ type engineKey struct {
 }
 
 // extraKey canonically encodes the optional Params knobs that change what a
-// factory bakes into its processes. The common case (no knobs) is "" and
-// allocates nothing.
+// factory (or an adversary constructor) bakes in at construction time. The
+// common case (no knobs) is "" and allocates nothing.
 func extraKey(p Params) string {
-	if p.CoreThresholds == nil && p.Proposers == nil {
+	if p.CoreThresholds == nil && p.Proposers == nil && p.AdvKnobs == nil {
 		return ""
 	}
 	var b strings.Builder
@@ -54,6 +54,15 @@ func extraKey(p Params) string {
 				b.WriteByte(',')
 			}
 			b.WriteString(strconv.Itoa(int(q)))
+		}
+	}
+	if p.AdvKnobs != nil {
+		b.WriteString(";knobs=")
+		for i, v := range p.AdvKnobs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(v))
 		}
 	}
 	return b.String()
@@ -129,6 +138,9 @@ func newTrialEngine(key engineKey, p Params) (*TrialEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := advD.ValidateKnobs(p); err != nil {
+		return nil, err
+	}
 	schD, err := LookupScheduler(key.sched)
 	if err != nil {
 		return nil, err
@@ -158,6 +170,9 @@ func newTrialEngine(key engineKey, p Params) (*TrialEngine, error) {
 // hook is missing or declines.
 func (e *TrialEngine) prepare(p Params) error {
 	if err := e.alg.Validate(p); err != nil {
+		return err
+	}
+	if err := e.advD.ValidateKnobs(p); err != nil {
 		return err
 	}
 	if err := e.sys.Recycle(p.Seed, p.Inputs); err != nil {

@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// knobbedAdversaries lists every adversary declaring tuning knobs, with a
+// valid trial shape for each.
+func knobbedAdversaries(t *testing.T) []*Adversary {
+	t.Helper()
+	var out []*Adversary
+	for _, name := range AdversaryNames() {
+		ad, err := LookupAdversary(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ad.Knobs) > 0 {
+			out = append(out, ad)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no adversary declares knobs")
+	}
+	return out
+}
+
+func TestKnobDeclarationsWellFormed(t *testing.T) {
+	for _, ad := range knobbedAdversaries(t) {
+		for _, k := range ad.Knobs {
+			if k.Name == "" || k.Description == "" {
+				t.Errorf("%s: knob %+v missing name or description", ad.Name, k)
+			}
+			if k.Min > k.Max {
+				t.Errorf("%s: knob %s has empty range [%d, %d]", ad.Name, k.Name, k.Min, k.Max)
+			}
+			if k.Default < k.Min || k.Default > k.Max {
+				t.Errorf("%s: knob %s default %d outside [%d, %d]", ad.Name, k.Name, k.Default, k.Min, k.Max)
+			}
+		}
+	}
+}
+
+func TestValidateKnobs(t *testing.T) {
+	sv, err := LookupAdversary("splitvote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		knobs []int
+		want  string // substring of the error, "" = accepted
+	}{
+		{nil, ""},
+		{sv.KnobDefaults(), ""},
+		{[]int{sv.Knobs[0].Min}, ""},
+		{[]int{sv.Knobs[0].Max}, ""},
+		{[]int{sv.Knobs[0].Max + 1}, "outside"},
+		{[]int{sv.Knobs[0].Min - 1}, "outside"},
+		{[]int{0, 0}, "takes 1 knob(s), got 2"},
+		{[]int{}, "takes 1 knob(s), got 0"},
+	}
+	for _, c := range cases {
+		err := sv.ValidateKnobs(Params{AdvKnobs: c.knobs})
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("knobs %v rejected: %v", c.knobs, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("knobs %v: error %v, want substring %q", c.knobs, err, c.want)
+		}
+	}
+}
+
+// TestKnobDefaultsMatchHistorical pins the compatibility contract: a trial
+// with AdvKnobs at every knob's declared default behaves exactly like the
+// historical nil-knob construction, for every knobbed adversary.
+func TestKnobDefaultsMatchHistorical(t *testing.T) {
+	for _, ad := range knobbedAdversaries(t) {
+		p := Params{N: 12, T: 1, Seed: 3}
+		var err error
+		if p.Inputs, err = Inputs("split", p.N, p.Seed); err != nil {
+			t.Fatal(err)
+		}
+		run := func(knobs []int) interface{} {
+			p := p
+			p.AdvKnobs = knobs
+			e, err := AcquireTrial("core", ad.Name, "adversary", p)
+			if err != nil {
+				t.Fatalf("%s knobs %v: %v", ad.Name, knobs, err)
+			}
+			defer e.Release()
+			res, err := e.Run(500)
+			if err != nil {
+				t.Fatalf("%s knobs %v: %v", ad.Name, knobs, err)
+			}
+			return res
+		}
+		historical := run(nil)
+		defaults := run(ad.KnobDefaults())
+		if historical != defaults {
+			t.Errorf("%s: default knobs diverge from historical construction:\n%+v\nvs\n%+v",
+				ad.Name, historical, defaults)
+		}
+	}
+}
+
+func TestAcquireTrialRejectsBadKnobs(t *testing.T) {
+	p := Params{N: 12, T: 1, Seed: 1}
+	var err error
+	if p.Inputs, err = Inputs("ones", p.N, p.Seed); err != nil {
+		t.Fatal(err)
+	}
+	p.AdvKnobs = []int{99}
+	if _, err := AcquireTrial("core", "splitvote", "adversary", p); err == nil ||
+		!strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-range knob accepted: %v", err)
+	}
+}
+
+func TestInventoryListsKnobs(t *testing.T) {
+	var sb strings.Builder
+	WriteInventory(&sb)
+	for _, want := range []string{"knob capdelta", "knob resetpct", "knob maxresets", "knob offset"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("inventory missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -93,6 +93,14 @@ type Params struct {
 	// it is deliberately excluded from sweep grid signatures and engine pool
 	// keys. Applied only when the algorithm's ParallelDelivery flag is set.
 	ShardWorkers int
+	// AdvKnobs supplies values for the adversary's declared tuning knobs
+	// (Adversary.Knobs), positionally. A nil slice leaves every knob at the
+	// exact historical construction the descriptor registers — the behavior
+	// every pre-knob checkpoint and experiment was recorded against — so
+	// only callers that explore the adversary space (internal/search) set
+	// it. Values are part of the trial's identity: the engine pool keys on
+	// them (extraKey) and ValidateKnobs range-checks them on acquisition.
+	AdvKnobs []int
 }
 
 // Algorithm is a self-describing agreement protocol entry.
@@ -154,12 +162,33 @@ type Algorithm struct {
 // defined for the algorithm.
 func (a *Algorithm) SupportsSplitVote() bool { return a.ClassifyVote != nil }
 
+// Knob declares one tunable integer parameter of an adversary: a named,
+// bounded axis of the adversary-optimization search space. The declared
+// Default reproduces the registered (un-knobbed) construction at every
+// sweep-grid size, so the default knob vector is always a legal — and
+// baseline — search candidate.
+type Knob struct {
+	// Name is the stable knob identifier (e.g. "capdelta").
+	Name string
+	// Description is a one-line human summary for CLI listings.
+	Description string
+	// Min and Max bound the knob's legal values, inclusive.
+	Min, Max int
+	// Default is the value reproducing the registered construction.
+	Default int
+}
+
 // Adversary is a self-describing window-adversary entry.
 type Adversary struct {
 	// Name is the stable registry key (e.g. "full", "splitvote").
 	Name string
 	// Description is a one-line human summary for CLI listings.
 	Description string
+	// Knobs declares the adversary's tunable integer parameters in the
+	// positional order Params.AdvKnobs supplies values for. Empty means the
+	// adversary has no tunable surface (the search space degenerates to its
+	// single registered construction).
+	Knobs []Knob
 	// Resets reports whether the adversary performs resetting steps.
 	Resets bool
 	// PlansSenders reports that the adversary's strategy lives in its
@@ -180,12 +209,47 @@ type Adversary struct {
 	// counters) and trials run concurrently.
 	New func(alg *Algorithm, p Params) (sim.WindowAdversary, error)
 	// Recycle rewinds adv — previously returned by New for the same
-	// algorithm and (n, t) cell — to the state New would produce for p,
+	// algorithm and (n, t) cell and the same knob vector (the engine pool
+	// keys on Params.AdvKnobs) — to the state New would produce for p,
 	// reusing its allocations, and reports whether it did. A nil hook (or a
 	// false return, e.g. on an unexpected concrete type) makes the pooled
 	// trial engine construct fresh state with New instead, so Recycle is a
 	// pure optimization and never a correctness requirement.
 	Recycle func(adv sim.WindowAdversary, p Params) bool
+}
+
+// KnobDefaults returns the declared knobs' default values (nil when the
+// adversary declares none) — the explicit vector equivalent to a nil
+// Params.AdvKnobs.
+func (a *Adversary) KnobDefaults() []int {
+	if len(a.Knobs) == 0 {
+		return nil
+	}
+	defs := make([]int, len(a.Knobs))
+	for i, k := range a.Knobs {
+		defs[i] = k.Default
+	}
+	return defs
+}
+
+// ValidateKnobs checks p.AdvKnobs against the declared knob specs: nil is
+// always valid (every knob at its default); otherwise the vector must have
+// one in-range value per declared knob.
+func (a *Adversary) ValidateKnobs(p Params) error {
+	if p.AdvKnobs == nil {
+		return nil
+	}
+	if len(p.AdvKnobs) != len(a.Knobs) {
+		return fmt.Errorf("registry: adversary %q takes %d knob(s), got %d values",
+			a.Name, len(a.Knobs), len(p.AdvKnobs))
+	}
+	for i, v := range p.AdvKnobs {
+		if k := a.Knobs[i]; v < k.Min || v > k.Max {
+			return fmt.Errorf("registry: adversary %q knob %q = %d outside [%d, %d]",
+				a.Name, k.Name, v, k.Min, k.Max)
+		}
+	}
+	return nil
 }
 
 var (
@@ -363,6 +427,9 @@ func NewAdversary(adv, alg string, p Params) (sim.WindowAdversary, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ad.ValidateKnobs(p); err != nil {
+		return nil, err
+	}
 	return ad.New(a, p)
 }
 
@@ -377,6 +444,10 @@ func WriteInventory(w io.Writer) {
 	fmt.Fprintln(w, "adversaries:")
 	for _, a := range Adversaries() {
 		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Description)
+		for _, k := range a.Knobs {
+			fmt.Fprintf(w, "  %-10s   knob %s: %s [%d..%d, default %d]\n",
+				"", k.Name, k.Description, k.Min, k.Max, k.Default)
+		}
 	}
 	fmt.Fprintln(w, "schedulers:")
 	for _, s := range Schedulers() {

@@ -311,6 +311,17 @@ func LoadCheckpoint(path, grid string) ([]TrialRecord, error) {
 // no corruption to blame, the file does not hold the index-ordered prefix
 // emission guarantees, and resuming from it would misalign every trial.
 func LoadCheckpointSalvage(path, grid string) ([]TrialRecord, *SalvageReport, error) {
+	return LoadCheckpointRecords(path, grid, func(r TrialRecord) int { return r.Index })
+}
+
+// LoadCheckpointRecords is the format-generic core of checkpoint loading,
+// shared by the sweep checkpoints (TrialRecord bodies) and the search
+// checkpoints (search evaluation records): the header/signature check and
+// the salvage semantics are exactly those documented on
+// LoadCheckpointSalvage, with body lines unmarshaled into R. index must
+// return a record's position field; a loadable file holds the contiguous
+// prefix 0..k-1.
+func LoadCheckpointRecords[R any](path, grid string, index func(R) int) ([]R, *SalvageReport, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil, nil
@@ -337,19 +348,19 @@ func LoadCheckpointSalvage(path, grid string) ([]TrialRecord, *SalvageReport, er
 			path, hdr.Grid, grid)
 	}
 	var (
-		records []TrialRecord
+		records []R
 		rep     = &SalvageReport{}
 		line    = 1   // the header was line 1
 		pending []int // unparseable lines since the last verified record
 	)
 	for sc.Scan() {
 		line++
-		var rec TrialRecord
+		var rec R
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			pending = append(pending, line)
 			continue
 		}
-		if rec.Index == len(records) {
+		if index(rec) == len(records) {
 			// The record continues the prefix: any unparseable lines before
 			// it were garbage insertions, proven skippable.
 			rep.CorruptLines = append(rep.CorruptLines, pending...)
@@ -368,7 +379,7 @@ func LoadCheckpointSalvage(path, grid string) ([]TrialRecord, *SalvageReport, er
 			break
 		}
 		return nil, nil, fmt.Errorf("registry: %s: checkpoint record %d has index %d (not a contiguous prefix)",
-			path, len(records), rec.Index)
+			path, len(records), index(rec))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err

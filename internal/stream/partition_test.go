@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"asyncagree/internal/rng"
+)
+
+// fixedSample is the deterministic input the partition properties run over:
+// values with duplicates, spread, and (for Hist) out-of-range entries.
+func fixedSample(n int) []int {
+	src := rng.New(41)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = src.Intn(40) // a third overflow a 30-bucket hist
+	}
+	return out
+}
+
+// TestHistMergePartitionInvariant checks that a Hist built by merging
+// per-part histograms equals the sequentially built one at EVERY 2-part
+// partition of a fixed input, and at every 3-part partition: merge order
+// and split points must not be observable.
+func TestHistMergePartitionInvariant(t *testing.T) {
+	const buckets = 30
+	vals := fixedSample(24)
+	want := NewHist(buckets)
+	for _, v := range vals {
+		want.Add(v)
+	}
+	histOf := func(part []int) *Hist {
+		h := NewHist(buckets)
+		for _, v := range part {
+			h.Add(v)
+		}
+		return h
+	}
+	equal := func(a, b *Hist) bool {
+		if a.Count() != b.Count() || a.Overflow() != b.Overflow() {
+			return false
+		}
+		for v := 0; v < buckets; v++ {
+			if a.Bucket(v) != b.Bucket(v) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i <= len(vals); i++ {
+		for j := i; j <= len(vals); j++ {
+			got := histOf(vals[:i])
+			got.Merge(histOf(vals[i:j]))
+			got.Merge(histOf(vals[j:]))
+			if !equal(got, want) {
+				t.Fatalf("partition [0:%d|%d:%d|%d:] diverged from sequential", i, i, j, j)
+			}
+		}
+	}
+}
+
+// TestReservoirMergeExactWithinCapacity checks the exactness half of the
+// Reservoir contract: while the observation count fits the capacity, the
+// merged sketch retains exactly the sequential sketch's samples at every
+// 2-part partition of the input.
+func TestReservoirMergeExactWithinCapacity(t *testing.T) {
+	vals := fixedSample(30)
+	seq := NewReservoir(64)
+	for _, v := range vals {
+		seq.AddInt(v)
+	}
+	for cut := 0; cut <= len(vals); cut++ {
+		a, b := NewReservoir(64), NewReservoir(64)
+		for _, v := range vals[:cut] {
+			a.AddInt(v)
+		}
+		for _, v := range vals[cut:] {
+			b.AddInt(v)
+		}
+		a.Merge(b)
+		if a.Count() != seq.Count() || a.Retained() != seq.Retained() {
+			t.Fatalf("cut %d: count/retained diverged", cut)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+			if got, want := a.Quantile(q), seq.Quantile(q); got != want {
+				t.Fatalf("cut %d: quantile %.2f = %v, want %v", cut, q, got, want)
+			}
+		}
+	}
+}
+
+// TestReservoirMergeDeterministicBeyondCapacity checks the sketch half of
+// the contract: past the capacity the merged result need not equal the
+// sequential sketch, but it must be a pure function of the partition —
+// rebuilding the same split yields byte-identical retained samples, the
+// observation count is preserved exactly, and quantiles stay within the
+// data range.
+func TestReservoirMergeDeterministicBeyondCapacity(t *testing.T) {
+	vals := fixedSample(100)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, float64(v))
+		hi = math.Max(hi, float64(v))
+	}
+	build := func(cut int) *Reservoir {
+		a, b := NewReservoir(8), NewReservoir(8)
+		for _, v := range vals[:cut] {
+			a.AddInt(v)
+		}
+		for _, v := range vals[cut:] {
+			b.AddInt(v)
+		}
+		a.Merge(b)
+		return a
+	}
+	for cut := 0; cut <= len(vals); cut += 7 {
+		first, second := build(cut), build(cut)
+		if first.Count() != len(vals) {
+			t.Fatalf("cut %d: merged count %d, want %d", cut, first.Count(), len(vals))
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("cut %d: rebuilding the same partition diverged", cut)
+		}
+		if first.Retained() > 8 {
+			t.Fatalf("cut %d: retained %d over capacity", cut, first.Retained())
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := first.Quantile(q); got < lo || got > hi {
+				t.Fatalf("cut %d: quantile %.1f = %v outside data range [%v, %v]", cut, q, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestSummaryMergePartitionInvariant extends the partition property to
+// Summary: integer-exact statistics (count, sum, min, max, and the mean
+// derived from them) are identical to sequential at every 2-part partition.
+func TestSummaryMergePartitionInvariant(t *testing.T) {
+	vals := fixedSample(24)
+	var seq Summary
+	for _, v := range vals {
+		seq.AddInt(v)
+	}
+	for cut := 0; cut <= len(vals); cut++ {
+		var a, b Summary
+		for _, v := range vals[:cut] {
+			a.AddInt(v)
+		}
+		for _, v := range vals[cut:] {
+			b.AddInt(v)
+		}
+		a.Merge(&b)
+		if a.Count() != seq.Count() || a.Sum() != seq.Sum() ||
+			a.Min() != seq.Min() || a.Max() != seq.Max() || a.Mean() != seq.Mean() {
+			t.Fatalf("cut %d: merged summary diverged from sequential", cut)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"asyncagree/internal/rng"
+)
+
+// topkSample is a fixed observation set with score ties (forcing the ID
+// tie-break) and duplicate-free IDs.
+func topkSample() []TopItem {
+	src := rng.New(17)
+	out := make([]TopItem, 20)
+	for i := range out {
+		out[i] = TopItem{Score: float64(src.Intn(6)), ID: fmt.Sprintf("c%02d", i)}
+	}
+	return out
+}
+
+// reference computes the k best items by full sort under the documented
+// total order (score descending, ID ascending).
+func reference(items []TopItem, k int) []TopItem {
+	sorted := append([]TopItem(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	items := topkSample()
+	for _, k := range []int{1, 3, 5, 19, 25} {
+		acc := NewTopK(k)
+		for _, it := range items {
+			acc.Add(it.Score, it.ID)
+		}
+		if got, want := acc.Items(), reference(items, k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: retained %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestTopKOrderAndMergeTreeInvariant is the determinism property the search
+// frontier rests on: the retained items are a pure function of the
+// observation multiset — identical under every insertion order tried and
+// under every 2-part merge split, nested merges included.
+func TestTopKOrderAndMergeTreeInvariant(t *testing.T) {
+	items := topkSample()
+	const k = 5
+	want := reference(items, k)
+
+	src := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		perm := src.Perm(len(items))
+		acc := NewTopK(k)
+		for _, i := range perm {
+			acc.Add(items[i].Score, items[i].ID)
+		}
+		if got := acc.Items(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("permutation %v: retained %v, want %v", perm, got, want)
+		}
+	}
+
+	for cut := 0; cut <= len(items); cut++ {
+		a, b := NewTopK(k), NewTopK(k)
+		for _, it := range items[:cut] {
+			a.Add(it.Score, it.ID)
+		}
+		for _, it := range items[cut:] {
+			b.Add(it.Score, it.ID)
+		}
+		a.Merge(b)
+		if got := a.Items(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("merge cut %d: retained %v, want %v", cut, got, want)
+		}
+	}
+
+	// Nested merge trees: left-leaning and right-leaning folds over a
+	// 4-part split must agree with the flat reference too.
+	quarter := len(items) / 4
+	parts := make([]*TopK, 4)
+	for p := range parts {
+		lo, hi := p*quarter, (p+1)*quarter
+		if p == 3 {
+			hi = len(items)
+		}
+		parts[p] = NewTopK(k)
+		for _, it := range items[lo:hi] {
+			parts[p].Add(it.Score, it.ID)
+		}
+	}
+	left := NewTopK(k)
+	for _, p := range parts {
+		left.Merge(p)
+	}
+	right := NewTopK(k)
+	for i := len(parts) - 1; i >= 0; i-- {
+		right.Merge(parts[i])
+	}
+	if !reflect.DeepEqual(left.Items(), want) || !reflect.DeepEqual(right.Items(), want) {
+		t.Fatalf("merge trees diverged:\nleft  %v\nright %v\nwant  %v", left.Items(), right.Items(), want)
+	}
+}
+
+func TestTopKZeroValueAndBest(t *testing.T) {
+	var zero TopK
+	if _, ok := zero.Best(); ok {
+		t.Fatal("empty accumulator claims a best item")
+	}
+	zero.Add(1, "a")
+	zero.Add(2, "b")
+	if best, ok := zero.Best(); !ok || best.ID != "b" || zero.Len() != 1 {
+		t.Fatalf("zero value must keep a single best item, got %v (len %d)", zero.items, zero.Len())
+	}
+	if NewTopK(-3).bound() != 1 {
+		t.Fatal("k < 1 must clamp to 1")
+	}
+}
