@@ -53,6 +53,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"asyncagree/internal/ckptio"
@@ -69,13 +70,16 @@ func main() {
 	}
 }
 
-// installInterrupt converts the first SIGINT into a clean-stop request (the
-// sweep flushes sinks and the checkpoint, then exits with a resume hint); a
-// second SIGINT falls back to the default abrupt exit.
+// installInterrupt converts the first SIGINT or SIGTERM into a clean-stop
+// request (the sweep flushes sinks and the checkpoint, then exits with a
+// resume hint); a second signal falls back to the default abrupt exit.
+// SIGTERM gets the same treatment as Ctrl-C because container runtimes and
+// batch schedulers terminate with it — losing the resume invocation to an
+// orchestrated shutdown would defeat the checkpoint contract.
 func installInterrupt() func() bool {
 	var stopped atomic.Bool
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ch
 		stopped.Store(true)

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"asyncagree/internal/sched"
 	"asyncagree/internal/sim"
@@ -82,6 +83,43 @@ type TrialEngine struct {
 	adv  sim.WindowAdversary
 	sch  sched.Scheduler
 	plan sim.WindowAdversary
+
+	// poisoned marks an engine that a panicking (or otherwise corrupting)
+	// trial left in an unknown state. A poisoned engine must never re-enter
+	// its pool: Release refuses it (counting the attempt in EngineStats), so
+	// even a caller that mistakenly releases after recovering a panic cannot
+	// re-serve the corrupt instance.
+	poisoned bool
+}
+
+// EngineStats counts pooled-engine lifecycle events process-wide. The
+// counters are monotone; callers audit a workload by diffing snapshots
+// taken around it.
+type EngineStats struct {
+	// Acquired counts AcquireTrial successes (pool hits and fresh builds).
+	Acquired int64
+	// Released counts engines returned to their pool.
+	Released int64
+	// Poisoned counts engines explicitly marked unusable via Poison.
+	Poisoned int64
+	// BlockedReleases counts Release calls refused because the engine was
+	// poisoned — each one is a caller bug the audit made harmless.
+	BlockedReleases int64
+}
+
+var engineStats struct {
+	acquired, released, poisoned, blockedReleases atomic.Int64
+}
+
+// EngineStatsSnapshot returns the current process-wide pooled-engine
+// lifecycle counters.
+func EngineStatsSnapshot() EngineStats {
+	return EngineStats{
+		Acquired:        engineStats.acquired.Load(),
+		Released:        engineStats.released.Load(),
+		Poisoned:        engineStats.poisoned.Load(),
+		BlockedReleases: engineStats.blockedReleases.Load(),
+	}
 }
 
 // enginePools maps engineKey -> *sync.Pool of *TrialEngine. sync.Pool keeps
@@ -123,9 +161,15 @@ func AcquireTrial(algName, advName, schedName string, p Params) (*TrialEngine, e
 		if err := e.prepare(p); err != nil {
 			return nil, err
 		}
+		engineStats.acquired.Add(1)
 		return e, nil
 	}
-	return newTrialEngine(key, p)
+	e, err := newTrialEngine(key, p)
+	if err != nil {
+		return nil, err
+	}
+	engineStats.acquired.Add(1)
+	return e, nil
 }
 
 // newTrialEngine constructs everything fresh (the pool-miss path).
@@ -240,8 +284,30 @@ func (e *TrialEngine) RunUntil(maxWindows int, expired func(windows int) bool) (
 // acquisition constructs a fresh one. The sweep pipeline's panic isolation
 // (Matrix.RunWith) relies on this — it recovers the panic above the call to
 // RunPooledTrial, which has already abandoned the engine.
+//
+// Callers that hold the engine pointer across their own recover (the
+// service layer) should call Poison on the recovered engine: Release then
+// refuses it even if reached, and the audit counters record the event.
 func (e *TrialEngine) Release() {
+	if e.poisoned {
+		engineStats.blockedReleases.Add(1)
+		return
+	}
+	engineStats.released.Add(1)
 	poolFor(e.key).Put(e)
+}
+
+// Poison permanently marks the engine unusable: a subsequent Release is a
+// counted no-op, so the instance can never be re-served from its pool. Call
+// it after recovering a panic that unwound the engine mid-trial (the
+// engine's internal state is outside anything the Recycle contract
+// anticipates) — the garbage collector reclaims it and the next acquisition
+// builds fresh.
+func (e *TrialEngine) Poison() {
+	if !e.poisoned {
+		e.poisoned = true
+		engineStats.poisoned.Add(1)
+	}
 }
 
 // RunPooledTrial acquires a pooled engine, runs one window-mode trial of

@@ -1,0 +1,148 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEnginePoolConcurrentStress hammers one scenario's engine pool from
+// many goroutines — the agreement service's steady state — with a seeded
+// subset of trials panicking mid-run. It asserts the two contracts the
+// service layer stands on:
+//
+//  1. Isolation: a poisoned engine is never served again. Every panicking
+//     trial poisons its engine and (deliberately, to exercise the audit)
+//     still calls Release; the pool must refuse it, so no later AcquireTrial
+//     may return a poisoned pointer.
+//  2. Determinism: the clean trials' results are byte-identical to a serial
+//     reference run of the same seeds, pooled or not, panics or not.
+//
+// Run with -race: the interesting failures here are ordering windows, not
+// logic.
+func TestEnginePoolConcurrentStress(t *testing.T) {
+	const (
+		workers       = 8
+		trialsPerGor  = 30
+		n, tFaults    = 12, 1
+		maxWindows    = 3000
+		panicEvery    = 7 // seeds divisible by 7 panic mid-trial
+		alg, adv, sch = "core", "full", "adversary"
+	)
+
+	inputsFor := func(seed uint64) Params {
+		in := SplitInputs(n)
+		return Params{N: n, T: tFaults, Inputs: in, Seed: seed}
+	}
+
+	// Serial reference: one engine at a time, no panics.
+	reference := make(map[uint64]string)
+	for g := 0; g < workers; g++ {
+		for i := 0; i < trialsPerGor; i++ {
+			seed := uint64(g*trialsPerGor + i)
+			if seed%panicEvery == 0 {
+				continue
+			}
+			res, err := RunPooledTrial(alg, adv, sch, inputsFor(seed), maxWindows)
+			if err != nil {
+				t.Fatalf("reference seed %d: %v", seed, err)
+			}
+			reference[seed] = fmt.Sprintf("%+v", res)
+		}
+	}
+
+	// Concurrent run: every goroutine acquires/runs/releases on the same
+	// scenario key; panicking trials poison their engine and release it
+	// anyway (the audit path), clean trials record their result.
+	var (
+		abandoned sync.Map // poisoned *TrialEngine -> true
+		mu        sync.Mutex
+		got       = make(map[uint64]string)
+		reserved  []error
+	)
+	before := EngineStatsSnapshot()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < trialsPerGor; i++ {
+				seed := uint64(g*trialsPerGor + i)
+				e, err := AcquireTrial(alg, adv, sch, inputsFor(seed))
+				if err != nil {
+					mu.Lock()
+					reserved = append(reserved, fmt.Errorf("seed %d: acquire: %w", seed, err))
+					mu.Unlock()
+					return
+				}
+				if _, poisoned := abandoned.Load(e); poisoned {
+					mu.Lock()
+					reserved = append(reserved, fmt.Errorf("seed %d: pool served a poisoned engine", seed))
+					mu.Unlock()
+					return
+				}
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							e.Poison()
+							abandoned.Store(e, true)
+							e.Release() // must be refused
+						}
+					}()
+					res, _, err := e.RunUntil(maxWindows, func(windows int) bool {
+						if seed%panicEvery == 0 {
+							panic(fmt.Sprintf("injected panic at seed %d", seed))
+						}
+						return false
+					})
+					if err != nil {
+						mu.Lock()
+						reserved = append(reserved, fmt.Errorf("seed %d: run: %w", seed, err))
+						mu.Unlock()
+						return
+					}
+					e.Release()
+					mu.Lock()
+					got[seed] = fmt.Sprintf("%+v", res)
+					mu.Unlock()
+				}()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for _, err := range reserved {
+		t.Error(err)
+	}
+	if len(got) != len(reference) {
+		t.Fatalf("clean results: got %d, want %d", len(got), len(reference))
+	}
+	for seed, want := range reference {
+		if got[seed] != want {
+			t.Errorf("seed %d: concurrent result %s != serial reference %s", seed, got[seed], want)
+		}
+	}
+
+	// The audit ledger must balance: every injected panic poisoned exactly
+	// one engine and its release was refused.
+	after := EngineStatsSnapshot()
+	wantPanics := int64(0)
+	for g := 0; g < workers; g++ {
+		for i := 0; i < trialsPerGor; i++ {
+			if uint64(g*trialsPerGor+i)%panicEvery == 0 {
+				wantPanics++
+			}
+		}
+	}
+	if d := after.Poisoned - before.Poisoned; d != wantPanics {
+		t.Errorf("poisoned engines = %d, want %d", d, wantPanics)
+	}
+	if d := after.BlockedReleases - before.BlockedReleases; d != wantPanics {
+		t.Errorf("blocked releases = %d, want %d", d, wantPanics)
+	}
+	if acq, rel := after.Acquired-before.Acquired, after.Released-before.Released; acq-rel < wantPanics {
+		// Released excludes refused releases, so the gap is at least the
+		// poisoned engines (reference-run engines all went back).
+		t.Errorf("acquire/release ledger: %d acquired, %d released, %d poisoned", acq, rel, wantPanics)
+	}
+}

@@ -10,6 +10,7 @@
 package retry
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -89,6 +90,57 @@ func (p Policy) Do(op func() error) error {
 		return fmt.Errorf("retry: %d attempts exhausted: %w", n, err)
 	}
 	return err
+}
+
+// DoCtx is Do with cooperative cancellation: a done ctx is honored before
+// the first attempt (op is never called), between attempts, and — crucially
+// for draining servers and canceled load runs — during a backoff sleep,
+// which is interrupted immediately instead of running to completion. On
+// cancellation the context error is returned, wrapped with the last attempt
+// error when at least one attempt ran. The backoff schedule itself is
+// unchanged from Do: cancellation truncates it, never reshapes it.
+func (p Policy) DoCtx(ctx context.Context, op func() error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("retry: canceled before first attempt: %w", cerr)
+	}
+	var err error
+	n := p.attempts()
+	for i := 1; i <= n; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if i < n {
+			if cerr := p.sleepCtx(ctx, p.Backoff(i)); cerr != nil {
+				return fmt.Errorf("retry: canceled after %d attempt(s) (last error: %v): %w", i, err, cerr)
+			}
+		}
+	}
+	if n > 1 {
+		return fmt.Errorf("retry: %d attempts exhausted: %w", n, err)
+	}
+	return err
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first,
+// returning the context error on cancellation. A configured Sleep hook runs
+// to completion (tests substitute instant sleeps) with ctx re-checked
+// after; the real-clock path parks on a timer that ctx interrupts.
+func (p Policy) sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Writer wraps w so every Write is retried under the policy. Partial writes

@@ -1,6 +1,7 @@
 package retry
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -138,3 +139,108 @@ func TestWriterResumesPartialWrites(t *testing.T) {
 }
 
 var _ io.Writer = (*Writer)(nil)
+
+func TestDoCtxTable(t *testing.T) {
+	sentinel := errors.New("transient")
+	canceled := func() context.Context {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return ctx
+	}
+	cases := []struct {
+		name       string
+		ctx        func() context.Context
+		cancelInOp bool // op cancels its own context on every call
+		attempts   int
+		failures   int // op failures before success
+		wantCalls  int
+		wantErr    error // errors.Is target; nil = success
+	}{
+		{name: "cancel before first attempt skips op",
+			ctx: canceled, attempts: 5, failures: 0,
+			wantCalls: 0, wantErr: context.Canceled},
+		{name: "live context succeeds like Do",
+			ctx: context.Background, attempts: 5, failures: 2,
+			wantCalls: 3, wantErr: nil},
+		{name: "live context exhausts like Do",
+			ctx: context.Background, attempts: 3, failures: 99,
+			wantCalls: 3, wantErr: sentinel},
+		{name: "cancel observed after instant sleep",
+			// The op cancels mid-attempt; the Sleep hook runs, then the
+			// now-canceled ctx is observed: exactly one attempt.
+			cancelInOp: true, attempts: 5, failures: 99,
+			wantCalls: 1, wantErr: context.Canceled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ctx context.Context
+			cancel := func() {}
+			if tc.ctx != nil {
+				ctx = tc.ctx()
+			} else {
+				ctx, cancel = context.WithCancel(context.Background())
+				defer cancel()
+			}
+			calls := 0
+			p := Policy{Attempts: tc.attempts, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+			err := p.DoCtx(ctx, func() error {
+				calls++
+				if tc.cancelInOp {
+					cancel()
+				}
+				if calls <= tc.failures {
+					return sentinel
+				}
+				return nil
+			})
+			if calls != tc.wantCalls {
+				t.Fatalf("calls = %d, want %d", calls, tc.wantCalls)
+			}
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("err = %v, want nil", err)
+				}
+			} else if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want wrapping %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDoCtxCancelDuringSleepReturnsPromptly(t *testing.T) {
+	// A real-clock backoff (no Sleep hook) of one minute must be cut short
+	// by cancellation: the whole call returns in well under the backoff.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	p := Policy{Attempts: 3, Base: time.Minute}
+	calls := 0
+	start := time.Now()
+	err := p.DoCtx(ctx, func() error { calls++; return errors.New("transient") })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("DoCtx blocked %v on a canceled backoff sleep", elapsed)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (canceled during the first backoff)", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+}
+
+func TestDoCtxCancellationWrapsLastAttemptError(t *testing.T) {
+	// Cancel from inside the first (failing) attempt: the cancellation error
+	// must carry the attempt's own error so the caller sees why it was
+	// retrying at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 3, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+	err := p.DoCtx(ctx, func() error { cancel(); return errors.New("disk full") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v, want the last attempt error in the message", err)
+	}
+}

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asyncagree/internal/rng"
+)
+
+// runInstanceTo drives the named instance until it has exactly runs
+// successful runs, creating it (idempotently) first.
+func runInstanceTo(t *testing.T, s *Server, name string, sc Scenario, runs int) {
+	t.Helper()
+	w := doJSON(t, s, "PUT", "/instances/"+name, CreateInstanceRequest{Scenario: sc})
+	if w.Code != http.StatusCreated && w.Code != http.StatusOK {
+		t.Fatalf("create %s: %d, body %s", name, w.Code, w.Body.String())
+	}
+	for {
+		g := doJSON(t, s, "GET", "/instances/"+name, nil)
+		var st InstanceState
+		if err := json.Unmarshal(g.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Runs >= runs {
+			return
+		}
+		if w := doJSON(t, s, "POST", "/instances/"+name+"/run", nil); w.Code != http.StatusOK {
+			t.Fatalf("run on %s: %d, body %s", name, w.Code, w.Body.String())
+		}
+	}
+}
+
+// instanceStateBytes fetches the instance's wire state verbatim.
+func instanceStateBytes(t *testing.T, s *Server, name string) []byte {
+	t.Helper()
+	w := doJSON(t, s, "GET", "/instances/"+name, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET %s: %d", name, w.Code)
+	}
+	return w.Body.Bytes()
+}
+
+// TestJournalReplayAfterCleanShutdown: close, reopen, byte-identical state.
+func TestJournalReplayAfterCleanShutdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	s, err := New(Config{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runInstanceTo(t, s, "a", fastScenario(), 4)
+	want := instanceStateBytes(t, s, "a")
+
+	// readyz reports the journal healthy while it is.
+	var st ReadyState
+	if err := json.Unmarshal(doJSON(t, s, "GET", "/readyz", nil).Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Journal != "ok" {
+		t.Fatalf("readyz journal = %q, want ok", st.Journal)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := New(Config{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if sum := s2.SalvageSummary(); sum != "" {
+		t.Fatalf("clean journal needed salvage: %s", sum)
+	}
+	if got := instanceStateBytes(t, s2, "a"); !bytes.Equal(got, want) {
+		t.Fatalf("replayed state differs:\n%s\n%s", got, want)
+	}
+}
+
+// TestJournalKillAndRestartProperty is the crash-recovery property test: a
+// daemon SIGKILLed mid-load leaves exactly a byte-prefix of its journal (the
+// journal is its only durable state, flushed per record), so killing is
+// simulated faithfully by truncating the journal at seeded byte offsets. For
+// every cut point, a restarted server must (a) salvage and replay a verified
+// prefix without error, (b) land on a state byte-identical to the reference
+// run's state at that run count, and (c) after being driven to the same
+// total run count, be byte-identical to the never-killed reference —
+// including the chained history digest, so not just the counts but the whole
+// replayed history must match.
+func TestJournalKillAndRestartProperty(t *testing.T) {
+	const totalRuns = 6
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+
+	// Reference run: create + totalRuns runs, capturing the state after
+	// every run count.
+	ref, err := New(Config{Workers: 1, JournalPath: refPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fastScenario()
+	stateAt := make([][]byte, totalRuns+1)
+	runInstanceTo(t, ref, "prop", sc, 0)
+	stateAt[0] = instanceStateBytes(t, ref, "prop")
+	for k := 1; k <= totalRuns; k++ {
+		runInstanceTo(t, ref, "prop", sc, k)
+		stateAt[k] = instanceStateBytes(t, ref, "prop")
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refJournal, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeded cut points: the torn extremes plus random interior offsets
+	// (most land mid-record — the torn-tail shape a real SIGKILL leaves).
+	headerEnd := bytes.IndexByte(refJournal, '\n') + 1
+	r := rng.New(0xC0FFEE)
+	cuts := map[int]bool{headerEnd: true, len(refJournal) - 1: true, len(refJournal): true}
+	for len(cuts) < 7 {
+		cuts[headerEnd+r.Intn(len(refJournal)-headerEnd)] = true
+	}
+
+	for cut := range cuts {
+		path := filepath.Join(dir, "cut.jsonl")
+		if err := os.WriteFile(path, refJournal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s, err := New(Config{Workers: 1, JournalPath: path})
+		if err != nil {
+			t.Fatalf("cut %d: restart failed: %v", cut, err)
+		}
+
+		// (b) The replayed state is exactly the reference state at the
+		// replayed run count.
+		w := doJSON(t, s, "GET", "/instances/prop", nil)
+		replayedRuns := -1
+		switch w.Code {
+		case http.StatusOK:
+			var st InstanceState
+			if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+				t.Fatal(err)
+			}
+			replayedRuns = st.Runs
+			if replayedRuns > totalRuns {
+				t.Fatalf("cut %d: replayed %d runs from a %d-run journal", cut, replayedRuns, totalRuns)
+			}
+			if !bytes.Equal(w.Body.Bytes(), stateAt[replayedRuns]) {
+				t.Fatalf("cut %d: replayed state at %d runs differs:\n%s\n%s",
+					cut, replayedRuns, w.Body.Bytes(), stateAt[replayedRuns])
+			}
+		case http.StatusNotFound:
+			// The cut swallowed the create record; legal, the restarted
+			// daemon simply starts the instance over below.
+		default:
+			t.Fatalf("cut %d: GET after restart: %d", cut, w.Code)
+		}
+
+		// (c) Drive to the reference run count: byte-identical final state.
+		runInstanceTo(t, s, "prop", sc, totalRuns)
+		if got := instanceStateBytes(t, s, "prop"); !bytes.Equal(got, stateAt[totalRuns]) {
+			t.Fatalf("cut %d (replayed %d runs): final state differs from uninterrupted run:\n%s\n%s",
+				cut, replayedRuns, got, stateAt[totalRuns])
+		}
+
+		// And the healed journal itself must now replay to the same place:
+		// restart once more without any new work.
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := New(Config{Workers: 1, JournalPath: path})
+		if err != nil {
+			t.Fatalf("cut %d: second restart failed: %v", cut, err)
+		}
+		if got := instanceStateBytes(t, s2, "prop"); !bytes.Equal(got, stateAt[totalRuns]) {
+			t.Fatalf("cut %d: state after second restart differs", cut)
+		}
+		s2.Close()
+	}
+}
+
+// TestJournalAppendFailureDegrades: once an append fails, the caller gets a
+// 500 and /readyz flips to degraded — but in-memory serving continues.
+func TestJournalAppendFailureDegrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	s, err := New(Config{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	runInstanceTo(t, s, "a", fastScenario(), 1)
+
+	// Close the underlying file behind the journal's back: the next append
+	// fails like a dead disk would.
+	if err := s.journal.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if w := doJSON(t, s, "POST", "/instances/a/run", nil); w.Code != http.StatusInternalServerError {
+		t.Fatalf("run with dead journal: %d, want 500 (body %s)", w.Code, w.Body.String())
+	}
+	var st ReadyState
+	rw := doJSON(t, s, "GET", "/readyz", nil)
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with degraded journal: %d, want 503", rw.Code)
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || len(st.Journal) < len("degraded") || st.Journal[:8] != "degraded" {
+		t.Fatalf("readyz journal = %q, want degraded", st.Journal)
+	}
+
+	// One-shot /run still works from memory.
+	if w := doJSON(t, s, "POST", "/run", RunRequest{Scenario: fastScenario()}); w.Code != http.StatusOK {
+		t.Fatalf("one-shot run with degraded journal: %d", w.Code)
+	}
+	s.journal.f = nil // already closed; keep Close from double-closing
+}
