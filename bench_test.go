@@ -61,6 +61,22 @@ func BenchmarkWindowThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowThroughputColumnar pins the columnar vote-tally kernel by
+// name (the case fails if the columnar gate does not engage), and
+// BenchmarkWindowThroughputMessage keeps the legacy message-at-a-time path
+// measured for comparison. Both bodies are shared with cmd/bench.
+func BenchmarkWindowThroughputColumnar(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(benchcases.SizeLabel(n), benchcases.WindowThroughputColumnar(n))
+	}
+}
+
+func BenchmarkWindowThroughputMessage(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(benchcases.SizeLabel(n), benchcases.WindowThroughputMessage(n))
+	}
+}
+
 // BenchmarkWindowThroughputSharded measures the same hot loop with the
 // sharded window core engaged (worker counts 2 and 4). Output is
 // byte-identical to the serial case; only wall-clock differs — on a

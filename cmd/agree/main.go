@@ -47,6 +47,7 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "random seed (same seed + same flags = same execution)")
 		maxWindows = fs.Int("max-windows", 100000, "window budget")
 		shardW     = fs.Int("shard-workers", 1, "intra-trial parallelism: goroutines sharding each window's delivery (1 = serial; output is identical at any setting)")
+		columnar   = fs.Bool("columnar", true, "columnar vote-tally fast path for algorithms that support it (output is identical either way)")
 		trace      = fs.Bool("trace", false, "print every simulator event")
 		list       = fs.Bool("list", false, "print the registered algorithms, adversaries, schedulers, and input patterns")
 	)
@@ -69,9 +70,10 @@ func run(args []string) error {
 	cfg := asyncagree.Config{
 		Algorithm: asyncagree.Algorithm(*alg),
 		N:         *n, T: *t,
-		Inputs:       in,
-		Seed:         *seed,
-		ShardWorkers: *shardW,
+		Inputs:          in,
+		Seed:            *seed,
+		ShardWorkers:    *shardW,
+		DisableColumnar: !*columnar,
 	}
 	sys, err := asyncagree.New(cfg)
 	if err != nil {

@@ -10,6 +10,8 @@
 //	bench -out BENCH_baseline.json      # record the committed baseline
 //	bench -benchtime 2s                 # more stable numbers
 //	bench -compare BENCH_baseline.json  # perf smoke: fail on regression
+//	bench -cpuprofile cpu.pprof         # profile the run (go tool pprof)
+//	bench -memprofile mem.pprof         # heap profile at end of run
 //
 // Regression rules for -compare: an entry fails on ns/op above
 // baseline*(1+threshold) (default 0.25), or on allocs/op above
@@ -31,16 +33,23 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
 	"asyncagree/internal/benchcases"
 )
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement. Cases whose body reports a "msgs/op"
+// metric (the Window* family: n² messages per window) also record the
+// per-message normalization, so O(n²)-inherent growth across sizes stays
+// distinguishable from per-message kernel overhead.
 type Entry struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerMsg    float64 `json:"ns_per_msg,omitempty"`
+	MsgsPerOp   float64 `json:"msgs_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	N           int     `json:"n"`
@@ -80,6 +89,14 @@ func suite() []struct {
 		add("WindowThroughput/"+benchcases.SizeLabel(n), benchcases.WindowThroughput(n))
 	}
 	for _, n := range []int{256, 1024} {
+		add("WindowThroughputColumnar/"+benchcases.SizeLabel(n),
+			benchcases.WindowThroughputColumnar(n))
+	}
+	for _, n := range []int{256, 1024} {
+		add("WindowThroughputMessage/"+benchcases.SizeLabel(n),
+			benchcases.WindowThroughputMessage(n))
+	}
+	for _, n := range []int{256, 1024} {
 		add("WindowThroughputSharded/"+benchcases.SizeLabel(n)+"/w=4",
 			benchcases.WindowThroughputSharded(n, 4))
 	}
@@ -101,6 +118,8 @@ func run(args []string) error {
 		threshold    = fs.Float64("threshold", 0.25, "relative ns/op regression threshold for -compare")
 		allocsThresh = fs.Float64("allocs-threshold", 0.25, "relative allocs/op regression threshold for -compare")
 		allocsGrace  = fs.Int64("allocs-grace", 8, "absolute allocs/op grace for -compare")
+		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run here (go test convention)")
+		memprofile   = fs.String("memprofile", "", "write an end-of-run heap profile here (go test convention)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,19 +129,51 @@ func run(args []string) error {
 		return err
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var entries []Entry
 	for _, c := range suite() {
 		res := testing.Benchmark(c.fn)
-		entries = append(entries, Entry{
+		e := Entry{
 			Name:        c.name,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			N:           res.N,
-		})
-		e := entries[len(entries)-1]
-		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
+		}
+		if msgs := res.Extra["msgs/op"]; msgs > 0 {
+			e.MsgsPerOp = msgs
+			e.NsPerMsg = e.NsPerOp / msgs
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %8d allocs/op %10d B/op",
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		if e.MsgsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, " %10.2f ns/msg", e.NsPerMsg)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date heap statistics, as go test does
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 
 	if *compare != "" {

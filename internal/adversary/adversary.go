@@ -215,7 +215,12 @@ var _ sim.WindowAdversary = (*TargetDecided)(nil)
 
 // PlanDelivery implements sim.WindowAdversary.
 func (a *TargetDecided) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
-	w := a.Inner.PlanDelivery(s, batch)
+	return a.target(s, a.Inner.PlanDelivery(s, batch))
+}
+
+// target overrides w's resets with the most advanced processors (shared by
+// the message and columnar planning paths).
+func (a *TargetDecided) target(s *sim.System, w sim.Window) sim.Window {
 	if a.RoundOf == nil {
 		return w
 	}

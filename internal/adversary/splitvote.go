@@ -84,6 +84,25 @@ func (a *SplitVote) RecycleTrial() {
 func (a *SplitVote) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
 	a.Windows++
 	n, t := s.N(), s.T()
+	a.ensureScratch(n)
+
+	// A sender's vote this window is the classified value of its messages
+	// (all copies of a broadcast carry the same payload; the first
+	// value-bearing message wins).
+	for _, m := range batch {
+		if m.From < 0 || int(m.From) >= n || a.votes[m.From] >= 0 {
+			continue
+		}
+		if info := a.Classify(m); info.HasValue {
+			a.votes[m.From] = int8(info.Value)
+		}
+	}
+	return a.planFromVotes(n, t)
+}
+
+// ensureScratch sizes the planning scratch for n senders and clears the
+// per-window vote and exclusion marks.
+func (a *SplitVote) ensureScratch(n int) {
 	if cap(a.votes) < n {
 		a.votes = make([]int8, n)
 		a.excluded = make([]bool, n)
@@ -97,18 +116,11 @@ func (a *SplitVote) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window 
 		a.votes[i] = -1
 		a.excluded[i] = false
 	}
+}
 
-	// A sender's vote this window is the classified value of its messages
-	// (all copies of a broadcast carry the same payload; the first
-	// value-bearing message wins).
-	for _, m := range batch {
-		if m.From < 0 || int(m.From) >= n || a.votes[m.From] >= 0 {
-			continue
-		}
-		if info := a.Classify(m); info.HasValue {
-			a.votes[m.From] = int8(info.Value)
-		}
-	}
+// planFromVotes turns the classified per-sender votes into the window plan
+// (shared by the message and columnar planning paths).
+func (a *SplitVote) planFromVotes(n, t int) sim.Window {
 	var count [2]int
 	for p := 0; p < n; p++ {
 		if v := a.votes[p]; v >= 0 {

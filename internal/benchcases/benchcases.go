@@ -22,19 +22,40 @@ func SizeLabel(n int) string { return "n=" + strconv.Itoa(n) }
 
 // WindowThroughput measures acceptable windows per second for the core
 // algorithm under full delivery (the simulator's hot loop) at size n with
-// t = n/8 and split inputs.
+// t = n/8 and split inputs, in the default execution configuration — which,
+// since core opts into the columnar vote-tally kernel, is the columnar
+// path. Each window carries n² messages (n broadcasters × n receivers);
+// the bodies report msgs/op so cmd/bench can derive ns/message and keep
+// O(n²)-inherent growth distinguishable from kernel overhead.
 func WindowThroughput(n int) func(b *testing.B) {
-	return windowThroughput(n, 1)
+	return windowThroughput(n, 1, true)
 }
 
 // WindowThroughputSharded is WindowThroughput with the sharded window core
 // engaged at the given worker count. Execution output is byte-identical to
 // the serial case (property-tested in registry); only wall-clock differs.
 func WindowThroughputSharded(n, workers int) func(b *testing.B) {
-	return windowThroughput(n, workers)
+	return windowThroughput(n, workers, true)
 }
 
-func windowThroughput(n, workers int) func(b *testing.B) {
+// WindowThroughputColumnar pins the columnar vote-tally kernel by name for
+// the CI perf gate: identical to WindowThroughput except that it fails
+// loudly if the columnar gate did not engage (a silent fall-back to the
+// message-at-a-time path would otherwise show up only as a mysterious
+// slowdown). Serial; the sharded interaction is covered by
+// WindowThroughputSharded.
+func WindowThroughputColumnar(n int) func(b *testing.B) {
+	return windowThroughput(n, 1, true)
+}
+
+// WindowThroughputMessage is the legacy message-at-a-time path, kept
+// measured so per-Deliver dispatch regressions stay visible now that the
+// default path is columnar.
+func WindowThroughputMessage(n int) func(b *testing.B) {
+	return windowThroughput(n, 1, false)
+}
+
+func windowThroughput(n, workers int, columnar bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		s, _, err := lowerbound.NewCoreSystem(n, n/8, 1)
@@ -43,7 +64,11 @@ func windowThroughput(n, workers int) func(b *testing.B) {
 		}
 		s.SetShardWorkers(workers)
 		s.SetParallelSend(workers > 1)
+		s.SetColumnar(columnar)
 		adv := adversary.FullDelivery{}
+		if columnar && !s.ColumnarPlanned(adv) {
+			b.Fatal("columnar gate did not engage; the case would silently measure the message path")
+		}
 		// Warm up past the one-time scratch growth (buffer arena, free list,
 		// order buffers reach steady-state batch capacity during the first
 		// windows), so the timed region measures the steady state the sweep
@@ -59,6 +84,7 @@ func windowThroughput(n, workers int) func(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		b.ReportMetric(float64(n)*float64(n), "msgs/op")
 	}
 }
 

@@ -88,15 +88,22 @@ type Proc struct {
 	phase Phase
 	x     sim.Bit
 
-	// got[r] tallies round r's reports and proposals in flat per-sender
-	// arrays. Tallies are recycled through pool, so the steady-state round
-	// loop performs no per-round allocation (the seed implementation built
-	// three nested maps per round).
-	got  map[int]*roundTally
-	pool []*roundTally
+	// got[r] tallies round r's reports and proposals in per-value sender
+	// bitsets (words words each). Tallies are recycled through pool, so the
+	// steady-state round loop performs no per-round allocation (the seed
+	// implementation built three nested maps per round).
+	got   map[int]*roundTally
+	pool  []*roundTally
+	words int
 
 	resetCounter int
-	outbox       []sim.Message
+
+	// pending holds this window's queued broadcasts as plain records; Send
+	// materializes them into pooled message boxes only on the legacy path,
+	// while SendColumnar publishes them as columns. (round, phase) keys
+	// strictly ascend within a window — the sim.VotePublisher contract.
+	pending []Msg
+	outbox  []sim.Message
 
 	// msgPool recycles the heap-boxed *Msg payloads of past broadcasts; the
 	// System hands a completed window's batch payloads back through
@@ -105,39 +112,57 @@ type Proc struct {
 	msgPool []*Msg
 }
 
-// quesMark marks a '?' (unvalued) proposal in a roundTally props slot.
+// quesMark is the props plane index of '?' (unvalued) proposals. It equals
+// sim.ValNeutral, so a column's Val doubles as the plane index.
 const quesMark = 2
 
 // roundTally records one round's first message per (phase, sender):
-// reports[q]/props[q] hold the carried bit (-1 = none; props may hold
-// quesMark for a '?' proposal), nReports/nProps count the distinct senders
-// recorded, and repCount/propCount the per-value totals the phase thresholds
-// are checked against (proposal counts tally valued proposals only).
+// reports[v]/props[v] are per-value sender bitsets (props[quesMark] holds
+// the '?' proposals), nReports/nProps count the distinct senders recorded,
+// and repCount/propCount the per-value totals the phase thresholds are
+// checked against (proposal counts tally valued proposals only).
 type roundTally struct {
-	reports, props      []int8
+	reports             [2][]uint64
+	props               [3][]uint64
 	nReports, nProps    int
 	repCount, propCount [2]int
 }
 
 func (rt *roundTally) clear() {
-	for i := range rt.reports {
-		rt.reports[i] = -1
-		rt.props[i] = -1
+	for v := range rt.reports {
+		clear(rt.reports[v])
+	}
+	for v := range rt.props {
+		clear(rt.props[v])
 	}
 	rt.nReports, rt.nProps = 0, 0
 	rt.repCount = [2]int{}
 	rt.propCount = [2]int{}
 }
 
-// takeRound fetches a cleared tally from the pool (or allocates one).
+// reportedWord returns the senders already recorded for the round's reports
+// in word w; proppedWord the same for its proposals.
+func (rt *roundTally) reportedWord(w int) uint64 { return rt.reports[0][w] | rt.reports[1][w] }
+func (rt *roundTally) proppedWord(w int) uint64 {
+	return rt.props[0][w] | rt.props[1][w] | rt.props[2][w]
+}
+
+// takeRound fetches a cleared tally from the pool (or allocates one over a
+// single backing array).
 func (p *Proc) takeRound() *roundTally {
 	if n := len(p.pool); n > 0 {
 		rt := p.pool[n-1]
 		p.pool = p.pool[:n-1]
 		return rt
 	}
-	rt := &roundTally{reports: make([]int8, p.n), props: make([]int8, p.n)}
-	rt.clear()
+	backing := make([]uint64, 5*p.words)
+	rt := &roundTally{}
+	for v := 0; v < 2; v++ {
+		rt.reports[v] = backing[v*p.words : (v+1)*p.words]
+	}
+	for v := 0; v < 3; v++ {
+		rt.props[v] = backing[(2+v)*p.words : (3+v)*p.words]
+	}
 	return rt
 }
 
@@ -163,6 +188,7 @@ func New(id sim.ProcID, n, t int, input sim.Bit) (*Proc, error) {
 		phase: PhaseReport,
 		x:     input,
 		got:   make(map[int]*roundTally),
+		words: (n + 63) / 64,
 	}
 	p.queueBroadcast(Msg{R: 1, P: PhaseReport, V: input, Valued: true})
 	return p, nil
@@ -197,16 +223,13 @@ func (p *Proc) Round() (int, Phase) { return p.round, p.phase }
 // Value returns the current estimate x.
 func (p *Proc) Value() sim.Bit { return p.x }
 
-// queueBroadcast queues m to all n processors. All n copies share one
-// pooled *Msg box (the seed implementation boxed the payload once per copy,
-// the sweep engine's single largest allocation source).
+// queueBroadcast queues m to all n processors. The record stays a plain
+// Msg until the window's send: only the legacy Send path boxes it (all n
+// copies sharing one pooled *Msg box — the seed implementation boxed the
+// payload once per copy, the sweep engine's single largest allocation
+// source), while the columnar path never materializes copies at all.
 func (p *Proc) queueBroadcast(m Msg) {
-	box := p.takeMsg()
-	*box = m
-	var payload any = box
-	for q := 0; q < p.n; q++ {
-		p.outbox = append(p.outbox, sim.Message{From: p.id, To: sim.ProcID(q), Payload: payload})
-	}
+	p.pending = append(p.pending, m)
 }
 
 // takeMsg fetches a payload box from the pool (or allocates one).
@@ -227,28 +250,29 @@ func (p *Proc) ReclaimPayload(payload any) {
 	}
 }
 
-// reclaimOutbox returns the payload boxes of queued-but-unsent messages to
-// the pool and truncates the outbox. Those boxes were never exposed outside
-// the processor, so reclaiming them immediately is safe.
+// reclaimOutbox discards queued-but-unsent broadcasts. Pending records are
+// unboxed, and p.outbox is always empty between Send calls (Send truncates
+// it before returning), so this is a pure truncation.
 func (p *Proc) reclaimOutbox() {
-	var last any
-	for i := range p.outbox {
-		if pl := p.outbox[i].Payload; pl != last {
-			last = pl
-			if m, ok := pl.(*Msg); ok {
-				p.msgPool = append(p.msgPool, m)
-			}
-		}
-	}
-	p.outbox = p.outbox[:0]
+	p.pending = p.pending[:0]
 }
 
-// Send implements sim.Process. The returned slice is valid only until the
-// next Deliver/Reset (the outbox capacity is recycled), per the sim.Process
+// Send implements sim.Process: it materializes the pending broadcasts into
+// pooled message boxes. The returned slice is valid only until the next
+// Deliver/Reset (the outbox capacity is recycled), per the sim.Process
 // contract.
 func (p *Proc) Send() []sim.Message {
-	out := p.outbox
-	p.outbox = p.outbox[:0]
+	out := p.outbox[:0]
+	for i := range p.pending {
+		box := p.takeMsg()
+		*box = p.pending[i]
+		var payload any = box
+		for q := 0; q < p.n; q++ {
+			out = append(out, sim.Message{From: p.id, To: sim.ProcID(q), Payload: payload})
+		}
+	}
+	p.pending = p.pending[:0]
+	p.outbox = out[:0]
 	return out
 }
 
@@ -277,30 +301,35 @@ func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
 		tally = p.takeRound()
 		p.got[msg.R] = tally
 	}
+	w, bit := int(m.From)>>6, uint64(1)<<(uint(m.From)&63)
 	if msg.P == PhaseReport {
-		if tally.reports[m.From] >= 0 {
+		if tally.reportedWord(w)&bit != 0 {
 			return // at most one report per (sender, round)
 		}
 		// Reports carry V unconditionally (Valued is set by honest senders;
 		// an unvalued report still tallies its V field, as before).
-		tally.reports[m.From] = int8(msg.V)
+		tally.reports[msg.V][w] |= bit
 		tally.nReports++
 		tally.repCount[msg.V]++
 	} else {
-		if tally.props[m.From] >= 0 {
+		if tally.proppedWord(w)&bit != 0 {
 			return // at most one proposal per (sender, round)
 		}
 		if msg.Valued {
-			tally.props[m.From] = int8(msg.V)
+			tally.props[msg.V][w] |= bit
 			tally.propCount[msg.V]++
 		} else {
-			tally.props[m.From] = quesMark
+			tally.props[quesMark][w] |= bit
 		}
 		tally.nProps++
 	}
+	p.drain(r)
+}
 
-	// The wait threshold is n-t messages for the current (round, phase);
-	// completing one phase may unlock the next from buffered messages.
+// drain runs phase evaluations to a fixpoint: the wait threshold is n-t
+// messages for the current (round, phase), and completing one phase may
+// unlock the next from buffered messages.
+func (p *Proc) drain(r sim.RandSource) {
 	for {
 		cur := p.got[p.round]
 		if cur == nil {

@@ -3,8 +3,6 @@ package bracha
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"asyncagree/internal/rbc"
 	"asyncagree/internal/sim"
@@ -33,11 +31,6 @@ type Agreement struct {
 
 	// acc[r][s][sender] is the accepted Val from sender for (round r, step s).
 	acc map[int]map[int]map[sim.ProcID]Val
-
-	// labels caches the broadcast labels by (round, step): label strings are
-	// pure functions of the prefix, so the cache survives Reset/Recycle and
-	// steady-state rounds concatenate nothing.
-	labels [][3]string
 
 	// roundPool/stepPool recycle the per-round and per-step accumulator maps
 	// released when a round completes (trial recycling, DESIGN.md §2a).
@@ -89,70 +82,38 @@ func (a *Agreement) Members() []sim.ProcID { return a.members }
 // Flush drains queued outgoing messages.
 func (a *Agreement) Flush() []sim.Message { return a.engine.Flush() }
 
-func (a *Agreement) label(round, step int) string {
-	for len(a.labels) < round {
-		r := strconv.Itoa(len(a.labels) + 1)
-		a.labels = append(a.labels, [3]string{
-			a.prefix + "/r" + r + "s1",
-			a.prefix + "/r" + r + "s2",
-			a.prefix + "/r" + r + "s3",
-		})
-	}
-	return a.labels[round-1][step-1]
-}
-
-// parseAgreementLabel inverts label for this instance's prefix.
-func (a *Agreement) parseLabel(l string) (round, step int, ok bool) {
-	rest, found := strings.CutPrefix(l, a.prefix+"/")
-	if !found {
-		return 0, 0, false
-	}
-	return parseRoundStep(rest)
-}
-
-// parseRoundStep parses "r<round>s<step>".
-func parseRoundStep(l string) (round, step int, ok bool) {
-	if len(l) < 4 || l[0] != 'r' {
-		return 0, 0, false
-	}
-	sIdx := strings.IndexByte(l, 's')
-	if sIdx < 2 || sIdx == len(l)-1 {
-		return 0, 0, false
-	}
-	r, err1 := strconv.Atoi(l[1:sIdx])
-	s, err2 := strconv.Atoi(l[sIdx+1:])
-	if err1 != nil || err2 != nil {
-		return 0, 0, false
-	}
-	return r, s, true
-}
-
 // Handles reports whether the message belongs to this instance (an RBC
-// message — pooled box or plain value — whose tag label carries the
-// instance prefix).
+// message — pooled box or plain value — whose tag label is the instance
+// prefix; the round and step live in the tag's structured fields).
 func (a *Agreement) Handles(m sim.Message) bool {
-	var label string
 	switch msg := m.Payload.(type) {
 	case *rbc.Msg:
-		label = msg.T.Label
+		return msg.T.Label == a.prefix
 	case rbc.Msg:
-		label = msg.T.Label
+		return msg.T.Label == a.prefix
 	default:
 		return false
 	}
-	_, _, ok := a.parseLabel(label)
-	return ok
 }
 
 // Handle processes one incoming message and advances the state machine.
 func (a *Agreement) Handle(m sim.Message, r sim.RandSource) {
 	for _, acc := range a.engine.Handle(m) {
-		round, step, ok := a.parseLabel(acc.T.Label)
-		if !ok || step < 1 || step > 3 {
+		round, step := acc.T.Round, acc.T.Step
+		if acc.T.Label != a.prefix || round < 1 || step < 1 || step > 3 {
 			continue
 		}
 		val, ok := acc.Value.(Val)
 		if !ok {
+			continue
+		}
+		if round < a.round {
+			// A straggler for a completed round: its accumulators were
+			// already released (releaseRound), and progress only ever reads
+			// the current round and its predecessor step, so storing the
+			// value would recreate maps that nothing reads and nothing
+			// returns to the pools — the old steady-state allocation leak of
+			// the Bracha benchmark.
 			continue
 		}
 		byStep := a.acc[round]
@@ -174,7 +135,7 @@ func (a *Agreement) Handle(m sim.Message, r sim.RandSource) {
 }
 
 func (a *Agreement) broadcastStep() {
-	a.engine.Broadcast(a.label(a.round, a.step), valAny(a.x, a.mark && a.step == 3))
+	a.engine.BroadcastAt(a.prefix, a.round, a.step, valAny(a.x, a.mark && a.step == 3))
 }
 
 // valBoxes interns the four possible Val payloads as pre-boxed interface
@@ -319,8 +280,7 @@ func (a *Agreement) progress(r sim.RandSource) {
 			a.releaseRound(a.round)
 			round := a.round
 			a.engine.Forget(func(tag rbc.Tag) bool {
-				r0, _, ok := a.parseLabel(tag.Label)
-				return ok && r0 <= round-1
+				return tag.Label == a.prefix && tag.Round <= round-1
 			})
 			a.round++
 			a.step = 1

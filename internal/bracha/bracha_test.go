@@ -1,11 +1,11 @@
 package bracha
 
 import (
-	"strconv"
 	"testing"
 	"testing/quick"
 
 	"asyncagree/internal/adversary"
+	"asyncagree/internal/rbc"
 	"asyncagree/internal/sim"
 )
 
@@ -37,21 +37,34 @@ func split(n int) []sim.Bit {
 	return in
 }
 
-func TestLabelRoundTrip(t *testing.T) {
-	cases := []struct {
-		round, step int
-	}{{1, 1}, {1, 3}, {17, 2}, {100000, 1}}
-	for _, c := range cases {
-		l := "r" + strconv.Itoa(c.round) + "s" + strconv.Itoa(c.step)
-		r, s, ok := parseRoundStep(l)
-		if !ok || r != c.round || s != c.step {
-			t.Errorf("round-trip (%d, %d) -> (%d, %d, %v)", c.round, c.step, r, s, ok)
+func TestTagCoordinates(t *testing.T) {
+	// Broadcast tags carry their (round, step) in the structured Tag fields
+	// with the instance prefix as the label; the agreement accepts exactly
+	// the tags of its own prefix with a valid step.
+	ag, err := NewAgreement(0, []sim.ProcID{0, 1, 2, 3}, 1, "ba", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag.Start()
+	out := ag.Flush()
+	if len(out) == 0 {
+		t.Fatal("Start queued no broadcast")
+	}
+	for _, m := range out {
+		msg, ok := m.Payload.(*rbc.Msg)
+		if !ok {
+			t.Fatalf("payload %T, want *rbc.Msg", m.Payload)
+		}
+		if msg.T.Label != "ba" || msg.T.Round != 1 || msg.T.Step != 1 {
+			t.Fatalf("round-1 step-1 broadcast tagged %+v", msg.T)
+		}
+		if !ag.Handles(m) {
+			t.Fatalf("agreement does not handle its own broadcast %+v", msg.T)
 		}
 	}
-	for _, bad := range []string{"", "r", "rs", "x1s2", "r1x2", "r1s", "rs2"} {
-		if _, _, ok := parseRoundStep(bad); ok {
-			t.Errorf("parseRoundStep(%q) accepted", bad)
-		}
+	alien := sim.Message{Payload: rbc.Msg{T: rbc.Tag{Sender: 0, Label: "other", Round: 1, Step: 1}}}
+	if ag.Handles(alien) {
+		t.Fatal("agreement claimed a foreign prefix")
 	}
 }
 

@@ -99,7 +99,9 @@ func ExtractVote(m sim.Message) (round int, value sim.Bit, ok bool) {
 type Proc struct {
 	id   sim.ProcID
 	n, t int
-	th   Thresholds
+	// words is the sender-bitset width (n+63)/64 shared by every tally.
+	words int
+	th    Thresholds
 
 	input sim.Bit
 
@@ -124,7 +126,15 @@ type Proc struct {
 	// survives resets and increments on each one.
 	resetCounter int
 
-	outbox []sim.Message
+	// pending queues broadcast records cheaply (one Vote per queueBroadcast
+	// call); Send materializes them into outbox Messages lazily, and the
+	// columnar SendColumnar publishes them as columns instead, so queueing
+	// costs O(1) either way. Within a window, pending entries strictly
+	// ascend in round (evaluate queues exactly one record per round advance
+	// and Reset truncates before re-queueing), the publish-order invariant
+	// sim.VotePublisher requires.
+	pending []Vote
+	outbox  []sim.Message
 
 	// votePool recycles the heap-boxed *Vote payloads of past broadcasts.
 	// The System hands a window's batch payloads back through ReclaimPayload
@@ -134,21 +144,30 @@ type Proc struct {
 	votePool []*Vote
 }
 
-// roundVotes tallies one round's votes: votes[q] is the bit received from
-// sender q (-1 = none), seen the number of distinct senders recorded, and
-// count the per-value totals the step-3 thresholds are checked against.
+// roundVotes tallies one round's votes as per-value sender bitsets: bit q
+// of bits[v] is set iff sender q's round vote carried v; seen counts the
+// distinct senders recorded and count the per-value totals the step-3
+// thresholds are checked against. The bitset representation serves both
+// delivery paths: the per-message Deliver sets one bit at a time, and the
+// columnar DeliverTally (columnar.go) ORs whole words, so the two produce
+// identical state by construction.
 type roundVotes struct {
-	votes []int8
+	bits  [2][]uint64
 	seen  int
 	count [2]int
 }
 
 func (rv *roundVotes) clear() {
-	for i := range rv.votes {
-		rv.votes[i] = -1
-	}
+	clear(rv.bits[0])
+	clear(rv.bits[1])
 	rv.seen = 0
 	rv.count = [2]int{}
+}
+
+// voted reports whether sender q's vote is already recorded.
+func (rv *roundVotes) voted(q sim.ProcID) bool {
+	bit := uint64(1) << (uint(q) & 63)
+	return (rv.bits[0][int(q)>>6]|rv.bits[1][int(q)>>6])&bit != 0
 }
 
 // takeRound fetches a cleared tally from the pool (or allocates one).
@@ -158,9 +177,8 @@ func (p *Proc) takeRound() *roundVotes {
 		p.pool = p.pool[:n-1]
 		return rv
 	}
-	rv := &roundVotes{votes: make([]int8, p.n)}
-	rv.clear()
-	return rv
+	backing := make([]uint64, 2*p.words)
+	return &roundVotes{bits: [2][]uint64{backing[:p.words], backing[p.words:]}}
 }
 
 // releaseRound clears a tally and returns it to the pool.
@@ -181,6 +199,7 @@ func New(id sim.ProcID, n, t int, th Thresholds, input sim.Bit) (*Proc, error) {
 		id:    id,
 		n:     n,
 		t:     t,
+		words: (n + 63) / 64,
 		th:    th,
 		input: input,
 		round: 1,
@@ -227,22 +246,12 @@ func (p *Proc) Value() sim.Bit { return p.x }
 // Resets returns the reset counter.
 func (p *Proc) Resets() int { return p.resetCounter }
 
-// queueBroadcast queues (round, x) to all n processors. All n copies share
-// one pooled *Vote box: boxing per copy was the single largest allocation
-// source in the window hot loop, and pooling the shared box (reclaimed by
-// the System when the box's window completes) removes even the one
-// per-broadcast allocation.
+// queueBroadcast queues (round, x) to all n processors as one pending
+// record; the n Message copies (sharing one pooled *Vote box, so the window
+// hot loop allocates no payload) materialize lazily in Send, and never
+// materialize at all on the columnar path.
 func (p *Proc) queueBroadcast() {
-	box := p.takeVote()
-	box.R, box.X = p.round, p.x
-	var payload any = box
-	for q := 0; q < p.n; q++ {
-		p.outbox = append(p.outbox, sim.Message{
-			From:    p.id,
-			To:      sim.ProcID(q),
-			Payload: payload,
-		})
-	}
+	p.pending = append(p.pending, Vote{R: p.round, X: p.x})
 }
 
 // takeVote fetches a payload box from the pool (or allocates one).
@@ -263,15 +272,24 @@ func (p *Proc) ReclaimPayload(payload any) {
 	}
 }
 
-// Send implements sim.Process: it flushes the outbox. A reset processor has
-// an empty outbox until it resynchronizes, implementing "a newly reset
-// processor refrains from sending messages until it resumes normal
-// operation". The returned slice is valid only until the next
-// Deliver/Reset (the outbox capacity is recycled), per the sim.Process
-// contract.
+// Send implements sim.Process: it materializes and flushes the pending
+// broadcasts. A reset processor has nothing pending until it
+// resynchronizes, implementing "a newly reset processor refrains from
+// sending messages until it resumes normal operation". The returned slice
+// is valid only until the next Deliver/Reset (the outbox capacity is
+// recycled), per the sim.Process contract.
 func (p *Proc) Send() []sim.Message {
-	out := p.outbox
-	p.outbox = p.outbox[:0]
+	out := p.outbox[:0]
+	for i := range p.pending {
+		box := p.takeVote()
+		box.R, box.X = p.pending[i].R, p.pending[i].X
+		var payload any = box
+		for q := 0; q < p.n; q++ {
+			out = append(out, sim.Message{From: p.id, To: sim.ProcID(q), Payload: payload})
+		}
+	}
+	p.pending = p.pending[:0]
+	p.outbox = out[:0]
 	return out
 }
 
@@ -297,10 +315,10 @@ func (p *Proc) Deliver(m sim.Message, r sim.RandSource) {
 		byRound = p.takeRound()
 		p.got[v.R] = byRound
 	}
-	if byRound.votes[m.From] >= 0 {
+	if byRound.voted(m.From) {
 		return // at most one vote per (sender, round)
 	}
-	byRound.votes[m.From] = int8(v.X)
+	byRound.bits[v.X][int(m.From)>>6] |= uint64(1) << (uint(m.From) & 63)
 	byRound.seen++
 	byRound.count[v.X]++
 
@@ -382,20 +400,11 @@ func (p *Proc) Recycle(input sim.Bit) {
 	p.queueBroadcast()
 }
 
-// reclaimOutbox returns the payload boxes of queued-but-unsent messages to
-// the pool and truncates the outbox. Those boxes were never exposed outside
-// the processor, so reclaiming them immediately is safe.
+// reclaimOutbox discards queued-but-unsent broadcasts. Pending records are
+// plain values (boxes are only taken at Send time), so discarding is a
+// truncation.
 func (p *Proc) reclaimOutbox() {
-	var last any
-	for i := range p.outbox {
-		if pl := p.outbox[i].Payload; pl != last {
-			last = pl
-			if v, ok := pl.(*Vote); ok {
-				p.votePool = append(p.votePool, v)
-			}
-		}
-	}
-	p.outbox = p.outbox[:0]
+	p.pending = p.pending[:0]
 }
 
 // Reset implements sim.Process: it erases everything except the input bit,

@@ -32,10 +32,11 @@ const e15ShardWorkers = 4
 //     n~32 the budget is not survivable — E2's curve is the reason — so
 //     the stall axis starts where the exponential has taken over.)
 //
-// Every trial runs twice through the pooled engine — serial facade
-// (ShardWorkers=1) and sharded core (ShardWorkers=4) — and the two
-// RunResults must be identical: the serial==parallel determinism contract,
-// checked end to end at sizes the property tests cannot afford.
+// Every trial runs three times through the pooled engine — serial
+// message-at-a-time (the reference), serial columnar, and sharded columnar
+// (ShardWorkers=4) — and all three RunResults must be identical: the
+// serial==parallel and message==columnar determinism contracts, checked end
+// to end at sizes the property tests cannot afford.
 func runE15(scale Scale) (Result, error) {
 	type sizeCfg struct {
 		n, trials int
@@ -56,15 +57,23 @@ func runE15(scale Scale) (Result, error) {
 		mismatch, unsafe  bool
 		windows           stream.Summary
 	}
-	// runBoth executes one seeded trial on both paths and folds the serial
-	// result (the reference) into the accumulator.
-	runBoth := func(a *e15Acc, alg, adv, pattern string, n, t, maxW int, seed uint64) error {
+	// runLegs executes one seeded trial on all three execution paths —
+	// serial message-at-a-time (the reference), serial columnar, and
+	// sharded columnar — and folds the reference result into the
+	// accumulator. Any leg diverging from the reference is a mismatch.
+	runLegs := func(a *e15Acc, alg, adv, pattern string, n, t, maxW int, seed uint64) error {
 		inputs, err := registry.Inputs(pattern, n, seed)
 		if err != nil {
 			return err
 		}
-		p := registry.Params{N: n, T: t, Seed: seed, Inputs: inputs, ShardWorkers: 1}
+		p := registry.Params{N: n, T: t, Seed: seed, Inputs: inputs,
+			ShardWorkers: 1, DisableColumnar: true}
 		serial, err := registry.RunPooledTrial(alg, adv, "adversary", p, maxW)
+		if err != nil {
+			return err
+		}
+		p.DisableColumnar = false
+		columnar, err := registry.RunPooledTrial(alg, adv, "adversary", p, maxW)
 		if err != nil {
 			return err
 		}
@@ -73,7 +82,7 @@ func runE15(scale Scale) (Result, error) {
 		if err != nil {
 			return err
 		}
-		if serial != sharded {
+		if serial != columnar || serial != sharded {
 			a.mismatch = true
 		}
 		if !serial.Agreement || !serial.Validity {
@@ -106,7 +115,7 @@ func runE15(scale Scale) (Result, error) {
 	}
 
 	table := stats.NewTable("axis", "algorithm", "n", "t", "adversary", "inputs",
-		"trials", "decided", "mean-windows", "max-first-decision", "serial==sharded")
+		"trials", "decided", "mean-windows", "max-first-decision", "legs-identical")
 	pass := true
 
 	type latCfg struct {
@@ -124,7 +133,7 @@ func runE15(scale Scale) (Result, error) {
 			acc, err := ReduceTrials(sc.trials,
 				func() *e15Acc { return &e15Acc{} },
 				func(a *e15Acc, trial int) (*e15Acc, error) {
-					return a, runBoth(a, lc.alg, "full", lc.pattern, sc.n, t, latBudget, uint64(trial+1))
+					return a, runLegs(a, lc.alg, "full", lc.pattern, sc.n, t, latBudget, uint64(trial+1))
 				},
 				merge)
 			if err != nil {
@@ -149,7 +158,7 @@ func runE15(scale Scale) (Result, error) {
 		acc, err := ReduceTrials(sc.trials,
 			func() *e15Acc { return &e15Acc{} },
 			func(a *e15Acc, trial int) (*e15Acc, error) {
-				return a, runBoth(a, "core", "splitvote", "split", sc.n, sc.n/8, stallBudget, uint64(trial+1))
+				return a, runLegs(a, "core", "splitvote", "split", sc.n, sc.n/8, stallBudget, uint64(trial+1))
 			},
 			merge)
 		if err != nil {
@@ -164,10 +173,10 @@ func runE15(scale Scale) (Result, error) {
 	}
 
 	notes := []string{
-		fmt.Sprintf("every trial ran serially (ShardWorkers=1) and sharded (ShardWorkers=%d); RunResults compared per seed", e15ShardWorkers),
+		fmt.Sprintf("every trial ran three ways — serial message-at-a-time, serial columnar, and sharded columnar (ShardWorkers=%d) — with RunResults compared per seed", e15ShardWorkers),
 		fmt.Sprintf("latency axis window budget: %d; stall axis window budget: %d acceptable windows", latBudget, stallBudget),
 		verdict(pass,
-			"windows-to-decision stays flat as n grows (core decides in the first window on unanimous inputs, Paxos within a fixed round budget), the split-vote adversary still stalls within budget at every size, and the sharded window core reproduces the serial facade's results exactly"),
+			"windows-to-decision stays flat as n grows (core decides in the first window on unanimous inputs, Paxos within a fixed round budget), the split-vote adversary still stalls within budget at every size, and the columnar and sharded execution paths reproduce the serial message-at-a-time results exactly"),
 	}
 	return Result{
 		ID:    "E15",

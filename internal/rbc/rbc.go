@@ -27,11 +27,17 @@ import (
 	"asyncagree/internal/sim"
 )
 
-// Tag identifies a broadcast instance: the designated sender and a
-// caller-chosen label (e.g. "r3s1" for round 3, step 1).
+// Tag identifies a broadcast instance: the designated sender, a
+// caller-chosen label, and optional structured (round, step) coordinates.
+// Protocols that advance through unboundedly many rounds put the round in
+// the integer fields and keep Label as a constant instance prefix — minting
+// a fresh label string per round ("r3s1") works too, but costs a string
+// allocation per round, which is what kept the Bracha window loop from
+// being allocation-free at steady state.
 type Tag struct {
-	Sender sim.ProcID
-	Label  string
+	Sender      sim.ProcID
+	Label       string
+	Round, Step int
 }
 
 // Kind enumerates the three message types.
@@ -92,6 +98,11 @@ type Engine struct {
 	instances map[Tag]*instance
 	outbox    []sim.Message
 
+	// setWords sizes the sender-set bitsets: enough words to index the
+	// highest participating ProcID (member IDs live in the host system's ID
+	// space, which for scoped engines is wider than the member count).
+	setWords int
+
 	// Recycling pools (see sim.PayloadReclaimer and DESIGN.md §2a): msgPool
 	// holds the heap-boxed *Msg payloads of dead broadcasts, instPool and
 	// setPool the instance records and per-value sender sets released by
@@ -99,11 +110,34 @@ type Engine struct {
 	// and every broadcast boxes fresh, which is always safe.
 	msgPool  []*Msg
 	instPool []*instance
-	setPool  []map[sim.ProcID]bool
+	setPool  []*senderSet
 
 	// acceptBuf backs Handle's zero-or-one-element result slice, so an
 	// acceptance does not allocate on the delivery hot path.
 	acceptBuf [1]Accepted
+}
+
+// senderSet counts distinct processors as a fixed-size bitset. A pooled set
+// never grows after construction (unlike a map, whose buckets re-allocate as
+// a fresh set fills), which is what keeps the Bracha window loop
+// allocation-free at steady state.
+type senderSet struct {
+	bits  []uint64
+	count int
+}
+
+func (s *senderSet) has(q sim.ProcID) bool {
+	return s.bits[int(q)>>6]&(uint64(1)<<(uint(q)&63)) != 0
+}
+
+func (s *senderSet) add(q sim.ProcID) {
+	s.bits[int(q)>>6] |= uint64(1) << (uint(q) & 63)
+	s.count++
+}
+
+func (s *senderSet) clear() {
+	clear(s.bits)
+	s.count = 0
 }
 
 type instance struct {
@@ -111,8 +145,8 @@ type instance struct {
 	sentReady bool
 	accepted  bool
 	// echoes/readys count distinct processors per value.
-	echoes map[any]map[sim.ProcID]bool
-	readys map[any]map[sim.ProcID]bool
+	echoes map[any]*senderSet
+	readys map[any]*senderSet
 }
 
 // NewEngine returns an Engine for host processor self in a system of n
@@ -122,7 +156,11 @@ func NewEngine(self sim.ProcID, n, t int) (*Engine, error) {
 	if t < 0 || n <= 3*t {
 		return nil, fmt.Errorf("rbc: need n > 3t, got n=%d t=%d", n, t)
 	}
-	return &Engine{self: self, n: n, t: t, instances: make(map[Tag]*instance)}, nil
+	return &Engine{
+		self: self, n: n, t: t,
+		setWords:  (n + 63) / 64,
+		instances: make(map[Tag]*instance),
+	}, nil
 }
 
 // NewScopedEngine returns an Engine whose broadcast group is the given
@@ -134,8 +172,12 @@ func NewScopedEngine(self sim.ProcID, members []sim.ProcID, t int) (*Engine, err
 		return nil, fmt.Errorf("rbc: need |members| > 3t, got %d members, t=%d", n, t)
 	}
 	isMember := make(map[sim.ProcID]bool, n)
+	maxID := self
 	for _, m := range members {
 		isMember[m] = true
+		if m > maxID {
+			maxID = m
+		}
 	}
 	if !isMember[self] {
 		return nil, fmt.Errorf("rbc: self %d not in member list", self)
@@ -144,6 +186,7 @@ func NewScopedEngine(self sim.ProcID, members []sim.ProcID, t int) (*Engine, err
 		self:      self,
 		n:         n,
 		t:         t,
+		setWords:  (int(maxID) + 64) / 64,
 		members:   append([]sim.ProcID(nil), members...),
 		isMember:  isMember,
 		instances: make(map[Tag]*instance),
@@ -168,8 +211,8 @@ func (e *Engine) inst(t Tag) *instance {
 			e.instPool = e.instPool[:n-1]
 		} else {
 			in = &instance{
-				echoes: make(map[any]map[sim.ProcID]bool),
-				readys: make(map[any]map[sim.ProcID]bool),
+				echoes: make(map[any]*senderSet),
+				readys: make(map[any]*senderSet),
 			}
 		}
 		e.instances[t] = in
@@ -180,11 +223,11 @@ func (e *Engine) inst(t Tag) *instance {
 // releaseInstance returns an instance and its sender sets to the pools.
 func (e *Engine) releaseInstance(in *instance) {
 	for _, set := range in.echoes {
-		clear(set)
+		set.clear()
 		e.setPool = append(e.setPool, set)
 	}
 	for _, set := range in.readys {
-		clear(set)
+		set.clear()
 		e.setPool = append(e.setPool, set)
 	}
 	clear(in.echoes)
@@ -194,18 +237,29 @@ func (e *Engine) releaseInstance(in *instance) {
 }
 
 // takeSet fetches a cleared sender set from the pool (or allocates one).
-func (e *Engine) takeSet() map[sim.ProcID]bool {
+func (e *Engine) takeSet() *senderSet {
 	if n := len(e.setPool); n > 0 {
 		set := e.setPool[n-1]
 		e.setPool = e.setPool[:n-1]
 		return set
 	}
-	return make(map[sim.ProcID]bool)
+	return &senderSet{bits: make([]uint64, e.setWords)}
 }
 
 // Broadcast starts a reliable broadcast with this processor as the sender.
 func (e *Engine) Broadcast(label string, value any) {
 	e.sendAll(Msg{T: Tag{Sender: e.self, Label: label}, Kind: KindInit, Value: value})
+}
+
+// BroadcastAt starts a reliable broadcast tagged with structured protocol
+// coordinates (see Tag): label names the protocol instance, (round, step)
+// the position within it.
+func (e *Engine) BroadcastAt(label string, round, step int, value any) {
+	e.sendAll(Msg{
+		T:     Tag{Sender: e.self, Label: label, Round: round, Step: step},
+		Kind:  KindInit,
+		Value: value,
+	})
 }
 
 // sendAll queues m to every member. All copies share one pooled *Msg box
@@ -315,11 +369,11 @@ func (e *Engine) Handle(m sim.Message) []Accepted {
 			set = e.takeSet()
 			in.echoes[msg.Value] = set
 		}
-		if set[m.From] {
+		if set.has(m.From) {
 			return nil
 		}
-		set[m.From] = true
-		if len(set) >= e.EchoThreshold() && !in.sentReady {
+		set.add(m.From)
+		if set.count >= e.EchoThreshold() && !in.sentReady {
 			in.sentReady = true
 			e.sendAll(Msg{T: msg.T, Kind: KindReady, Value: msg.Value})
 		}
@@ -329,15 +383,15 @@ func (e *Engine) Handle(m sim.Message) []Accepted {
 			set = e.takeSet()
 			in.readys[msg.Value] = set
 		}
-		if set[m.From] {
+		if set.has(m.From) {
 			return nil
 		}
-		set[m.From] = true
-		if len(set) >= e.ReadyAmplify() && !in.sentReady {
+		set.add(m.From)
+		if set.count >= e.ReadyAmplify() && !in.sentReady {
 			in.sentReady = true
 			e.sendAll(Msg{T: msg.T, Kind: KindReady, Value: msg.Value})
 		}
-		if len(set) >= e.AcceptThreshold() && !in.accepted {
+		if set.count >= e.AcceptThreshold() && !in.accepted {
 			in.accepted = true
 			e.acceptBuf[0] = Accepted{T: msg.T, Value: msg.Value}
 			return e.acceptBuf[:]

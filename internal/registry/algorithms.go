@@ -64,6 +64,7 @@ func init() {
 		// immutable), so both window phases shard safely.
 		ParallelDelivery: true,
 		ParallelSend:     true,
+		ColumnarVotes:    true,
 		Validate: func(p Params) error {
 			_, err := resolveCoreThresholds(p)
 			return err
@@ -100,6 +101,7 @@ func init() {
 		// receiver; Send reads own round state and pooled boxes it owns.
 		ParallelDelivery: true,
 		ParallelSend:     true,
+		ColumnarVotes:    true,
 		Validate: func(p Params) error {
 			if p.T < 0 || 2*p.T >= p.N {
 				return fmt.Errorf("registry: benor needs t < n/2, got n=%d t=%d", p.N, p.T)

@@ -1,0 +1,151 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"asyncagree/internal/sim"
+)
+
+// quietRun executes one untraced window-mode run — no OnEvent observer, so
+// the columnar gate is free to engage — and returns the summary and the
+// final configuration snapshot.
+func quietRun(sys *sim.System, plan sim.WindowAdversary, maxWindows int) (sim.RunResult, []string, error) {
+	res, err := sys.RunWindows(plan, maxWindows)
+	return res, sys.ConfigurationSnapshot(), err
+}
+
+// compareQuiet asserts a columnar execution's observables are byte-identical
+// to the message-at-a-time reference.
+func compareQuiet(t *testing.T, label string,
+	lRes sim.RunResult, lSnap []string, lErr error,
+	cRes sim.RunResult, cSnap []string, cErr error) {
+	t.Helper()
+	if (lErr == nil) != (cErr == nil) || (lErr != nil && lErr.Error() != cErr.Error()) {
+		t.Fatalf("%s: errors diverged: message %v, columnar %v", label, lErr, cErr)
+	}
+	if lRes != cRes {
+		t.Fatalf("%s: results diverged:\nmessage  %+v\ncolumnar %+v", label, lRes, cRes)
+	}
+	if len(lSnap) != len(cSnap) {
+		t.Fatalf("%s: snapshot lengths diverged: %d vs %d", label, len(lSnap), len(cSnap))
+	}
+	for i := range lSnap {
+		if lSnap[i] != cSnap[i] {
+			t.Fatalf("%s: processor %d diverged:\nmessage  %q\ncolumnar %q", label, i, lSnap[i], cSnap[i])
+		}
+	}
+}
+
+// TestColumnarTrialMatchesMessage is the byte-identity contract of the
+// columnar vote-tally kernel at the registry level: for every compatible
+// (columnar algorithm × adversary × scheduler) triple at the smoke-grid
+// shape, a columnar trial — fresh and recycled, serial and sharded (worker
+// counts 1, 2, 4) — produces exactly the RunResult and final configuration
+// of the message-at-a-time path. Under -race this doubles as the data-race
+// proof for the sharded tally phase.
+func TestColumnarTrialMatchesMessage(t *testing.T) {
+	small := Matrix{
+		Algorithms: []string{"core", "benor"},
+		Sizes:      []Size{{N: 12, T: 1}},
+		Inputs:     []string{"split"},
+		Seeds:      []uint64{3},
+		MaxWindows: 400,
+	}
+	trials, err := small.allSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) == 0 {
+		t.Fatal("smoke grid expanded to no trials")
+	}
+	for _, ts := range trials {
+		ts := ts
+		name := fmt.Sprintf("%s_%s_%s_%s", ts.Algorithm, ts.Adversary, ts.Scheduler, ts.Size)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			inputs, err := Inputs(ts.Input, ts.Size.N, ts.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed,
+				DisableColumnar: true}
+
+			// Message-at-a-time reference execution.
+			sys, err := NewSystem(ts.Algorithm, legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := NewScheduledAdversary(ts.Adversary, ts.Scheduler, ts.Algorithm, legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lRes, lSnap, lErr := quietRun(sys, plan, ts.maxWindows)
+
+			for _, workers := range []int{1, 2, 4} {
+				p := legacy
+				p.DisableColumnar = false
+				p.ShardWorkers = workers
+
+				// Fresh columnar execution.
+				cSys, err := NewSystem(ts.Algorithm, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cPlan, err := NewScheduledAdversary(ts.Adversary, ts.Scheduler, ts.Algorithm, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !cSys.ColumnarPlanned(cPlan) {
+					t.Fatalf("columnar path not planned for %s; the comparison would be vacuous", name)
+				}
+				cRes, cSnap, cErr := quietRun(cSys, cPlan, ts.maxWindows)
+				compareQuiet(t, fmt.Sprintf("fresh w=%d", workers), lRes, lSnap, lErr, cRes, cSnap, cErr)
+
+				// Recycled columnar execution: dirty a fresh engine with a
+				// warm-up trial on another seed/pattern, then rewind it.
+				warmInputs, err := Inputs("ones", ts.Size.N, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm := Params{N: ts.Size.N, T: ts.Size.T, Inputs: warmInputs,
+					Seed: 99, ShardWorkers: workers}
+				key := engineKey{alg: ts.Algorithm, adv: ts.Adversary, sched: ts.Scheduler,
+					n: ts.Size.N, t: ts.Size.T}
+				e, err := newTrialEngine(key, warm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.Run(150); err != nil {
+					t.Fatalf("warm-up trial: %v", err)
+				}
+				if err := e.prepare(p); err != nil {
+					t.Fatalf("prepare: %v", err)
+				}
+				rRes, rSnap, rErr := quietRun(e.sys, e.plan, ts.maxWindows)
+				compareQuiet(t, fmt.Sprintf("recycled w=%d", workers), lRes, lSnap, lErr, rRes, rSnap, rErr)
+			}
+		})
+	}
+}
+
+// TestColumnarKnobExcludedFromIdentity pins the performance-knob contract:
+// DisableColumnar changes neither the sweep grid signature nor the engine
+// pool key, so checkpoints and pooled engines are shared across settings.
+func TestColumnarKnobExcludedFromIdentity(t *testing.T) {
+	m := Matrix{Algorithms: []string{"core"}, Sizes: []Size{{N: 12, T: 1}},
+		Inputs: []string{"split"}, Seeds: []uint64{1}}
+	on := m.GridSignature()
+	m.DisableColumnar = true
+	off := m.GridSignature()
+	if on != off {
+		t.Fatalf("GridSignature depends on DisableColumnar:\non  %q\noff %q", on, off)
+	}
+
+	p := Params{N: 12, T: 1, Inputs: SplitInputs(12), Seed: 1}
+	pOff := p
+	pOff.DisableColumnar = true
+	if extraKey(p) != extraKey(pOff) {
+		t.Fatalf("engine pool extraKey depends on DisableColumnar")
+	}
+}

@@ -60,6 +60,12 @@ type Matrix struct {
 	// axis: it is deliberately excluded from GridSignature, and a sweep
 	// checkpointed at one worker count may resume at another.
 	ShardWorkers int
+	// DisableColumnar turns off the columnar vote-tally fast path for every
+	// trial (see Params.DisableColumnar). Like ShardWorkers it is a
+	// performance knob, not a grid axis: per-trial output is byte-identical
+	// either way, it is excluded from GridSignature, and a sweep
+	// checkpointed at one setting may resume at another.
+	DisableColumnar bool
 }
 
 // DefaultMatrix returns the default sweep grid: every registered algorithm
@@ -141,9 +147,10 @@ func (s *Sweep) Healthy() bool {
 type trialSpec struct {
 	cell int // index into the expanded cell list
 	Cell
-	seed         uint64
-	maxWindows   int
-	shardWorkers int
+	seed            uint64
+	maxWindows      int
+	shardWorkers    int
+	disableColumnar bool
 }
 
 // key renders the trial's stable identity. It delegates to
@@ -282,7 +289,7 @@ func (m Matrix) specAt(cells []Cell, i int) trialSpec {
 	return trialSpec{
 		cell: i / s, Cell: cells[i/s],
 		seed: m.Seeds[i%s], maxWindows: m.MaxWindows,
-		shardWorkers: m.ShardWorkers,
+		shardWorkers: m.ShardWorkers, disableColumnar: m.DisableColumnar,
 	}
 }
 
@@ -311,7 +318,7 @@ func runTrial(ts trialSpec) (sim.RunResult, error) {
 		return sim.RunResult{}, err
 	}
 	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed,
-		ShardWorkers: ts.shardWorkers}
+		ShardWorkers: ts.shardWorkers, DisableColumnar: ts.disableColumnar}
 	return RunPooledTrial(ts.Algorithm, ts.Adversary, ts.Scheduler, p, ts.maxWindows)
 }
 
@@ -325,7 +332,7 @@ func runTrialUntil(ts trialSpec, expired func(windows int) bool) (sim.RunResult,
 		return sim.RunResult{}, false, err
 	}
 	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed,
-		ShardWorkers: ts.shardWorkers}
+		ShardWorkers: ts.shardWorkers, DisableColumnar: ts.disableColumnar}
 	e, err := AcquireTrial(ts.Algorithm, ts.Adversary, ts.Scheduler, p)
 	if err != nil {
 		return sim.RunResult{}, false, err
@@ -344,7 +351,7 @@ func runTrialFresh(ts trialSpec) (sim.RunResult, error) {
 		return sim.RunResult{}, err
 	}
 	p := Params{N: ts.Size.N, T: ts.Size.T, Inputs: inputs, Seed: ts.seed,
-		ShardWorkers: ts.shardWorkers}
+		ShardWorkers: ts.shardWorkers, DisableColumnar: ts.disableColumnar}
 	sys, err := NewSystem(ts.Algorithm, p)
 	if err != nil {
 		return sim.RunResult{}, err

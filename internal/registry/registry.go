@@ -93,6 +93,13 @@ type Params struct {
 	// it is deliberately excluded from sweep grid signatures and engine pool
 	// keys. Applied only when the algorithm's ParallelDelivery flag is set.
 	ShardWorkers int
+	// DisableColumnar turns off the columnar vote-tally fast path
+	// (sim/columnar.go) for algorithms that declare ColumnarVotes; the zero
+	// value leaves it on. Like ShardWorkers, observable behavior is
+	// byte-identical either way, so this is a performance knob, not an
+	// execution parameter — it is deliberately excluded from sweep grid
+	// signatures and engine pool keys.
+	DisableColumnar bool
 	// AdvKnobs supplies values for the adversary's declared tuning knobs
 	// (Adversary.Knobs), positionally. A nil slice leaves every knob at the
 	// exact historical construction the descriptor registers — the behavior
@@ -143,6 +150,11 @@ type Algorithm struct {
 	// state shared across senders, so the per-sender collection loop may
 	// shard too. Only consulted when ParallelDelivery is set.
 	ParallelSend bool
+	// ColumnarVotes declares that every processor implements
+	// sim.VoteBroadcaster and sim.TallyReceiver, so the columnar vote-tally
+	// fast path may engage (subject to Params.DisableColumnar and the
+	// sim-level gate).
+	ColumnarVotes bool
 	// Validate checks p without building anything.
 	Validate func(p Params) error
 	// Factory returns the per-processor sim.Process constructor. It may
@@ -400,10 +412,11 @@ func NewSystem(alg string, p Params) (*sim.System, error) {
 	return sys, nil
 }
 
-// applyShardParams configures the sharded window core on sys from the
-// descriptor's concurrency-safety declarations and the requested worker
-// count. Safe to call on every pooled-engine acquisition: sim.System keeps
-// its worker pool when the count is unchanged.
+// applyShardParams configures the sharded window core and the columnar
+// fast path on sys from the descriptor's concurrency-safety declarations
+// and the requested knobs. Safe to call on every pooled-engine
+// acquisition: sim.System keeps its worker pool when the count is
+// unchanged.
 func applyShardParams(sys *sim.System, a *Algorithm, p Params) {
 	workers := 1
 	if a.ParallelDelivery && p.ShardWorkers > 1 {
@@ -411,6 +424,7 @@ func applyShardParams(sys *sim.System, a *Algorithm, p Params) {
 	}
 	sys.SetShardWorkers(workers)
 	sys.SetParallelSend(a.ParallelSend)
+	sys.SetColumnar(a.ColumnarVotes && !p.DisableColumnar)
 }
 
 // NewAdversary constructs fresh per-trial adversary state for the named

@@ -56,6 +56,11 @@ type Scheduler interface {
 	//
 	// The returned slices are scratch owned by the scheduler and are valid
 	// only until the next PlanSenders call.
+	//
+	// batch may be nil: the columnar fast path (sim/columnar.go) never
+	// materializes the window's messages. Every built-in scheduler ignores
+	// the batch; a custom scheduler that reads it must tolerate nil (and
+	// will simply see no messages on columnar windows).
 	PlanSenders(s *sim.System, batch []sim.Message) [][]sim.ProcID
 }
 
@@ -86,6 +91,25 @@ var _ sim.WindowAdversary = (*scheduled)(nil)
 func (c *scheduled) PlanDelivery(s *sim.System, batch []sim.Message) sim.Window {
 	w := c.adv.PlanDelivery(s, batch)
 	w.Senders = c.sch.PlanSenders(s, batch)
+	return w
+}
+
+var _ sim.ColumnarPlanner = (*scheduled)(nil)
+
+// PlansColumnar implements sim.ColumnarPlanner by probing the wrapped
+// adversary; schedulers never read the batch (see Scheduler.PlanSenders),
+// so the scheduler side always supports columnar windows.
+func (c *scheduled) PlansColumnar() bool {
+	cp, ok := c.adv.(sim.ColumnarPlanner)
+	return ok && cp.PlansColumnar()
+}
+
+// PlanDeliveryColumnar implements sim.ColumnarPlanner: the adversary's
+// columnar plan with the scheduler's sender sets spliced over it, exactly
+// like PlanDelivery.
+func (c *scheduled) PlanDeliveryColumnar(s *sim.System, cols *sim.ColumnSet) sim.Window {
+	w := c.adv.(sim.ColumnarPlanner).PlanDeliveryColumnar(s, cols)
+	w.Senders = c.sch.PlanSenders(s, nil)
 	return w
 }
 

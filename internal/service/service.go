@@ -69,6 +69,10 @@ type Config struct {
 	// (a pure performance knob — results are byte-identical at any
 	// setting); <= 1 runs the serial facade.
 	ShardWorkers int
+	// DisableColumnar opts every served trial out of the columnar
+	// vote-tally fast path (another pure performance knob — results are
+	// byte-identical either way). The zero value keeps it on.
+	DisableColumnar bool
 	// JournalPath persists named instances to an append-only journal at
 	// this path; empty keeps them in memory only.
 	JournalPath string

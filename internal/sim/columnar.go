@@ -1,0 +1,557 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements the columnar vote-tally kernel: a fast path through
+// ApplyWindowWith that collapses the window's O(n²) message-at-a-time
+// delivery into O(n²/64) bitset words. Algorithms that broadcast one small
+// vote record per step (the paper's setting — every message is a (round,
+// value) pair) publish their window's broadcast as (round, class, value)
+// sender-bitset columns instead of materializing n boxed payload copies;
+// each receiver's delivery then reduces to popcount(allowRow & column) per
+// column plus a word-exact scan that reproduces the legacy threshold
+// crossings bit for bit. See DESIGN.md §2c.
+//
+// The path is byte-identical to the message-at-a-time pipeline in RunResult,
+// ConfigurationSnapshot, and rng consumption, and engages only when every
+// guard holds (columnarPlanner): the kernel is enabled (SetColumnar), no
+// event observer is installed (the columnar path materializes no Messages,
+// so EvSend/EvDeliver traces require the legacy path), no processor is
+// Byzantine-corrupted, every process implements both VoteBroadcaster and
+// TallyReceiver, and the adversary implements ColumnarPlanner and currently
+// plans without reading the batch. Everything else — hand-built windows
+// through ApplyWindow/WindowDeliver, non-columnar algorithms, traced runs —
+// takes the untouched existing path, mirroring the sharded core's
+// hand-built-batch gate.
+
+// ValNeutral is the smallest neutral (non-value-bearing) column value: a
+// published Val < ValNeutral carries the bit Val ∈ {0, 1}, while Val >=
+// ValNeutral marks a valueless record (Ben-Or's '?' proposal). Adversaries
+// classifying votes by column (the split-vote strategy) skip neutral
+// columns, matching the legacy ClassifyVote ok=false contract.
+const ValNeutral uint8 = 2
+
+// MaskFrom returns the word mask selecting bit positions >= b, for b in
+// [0, 64] (MaskFrom(64) is 0: Go defines over-wide shifts as zero).
+func MaskFrom(b int) uint64 { return ^uint64(0) << uint(b) }
+
+// NthSetBit returns the position of the k-th (1-based) set bit of x. The
+// caller guarantees x has at least k set bits.
+func NthSetBit(x uint64, k int) int {
+	for ; k > 1; k-- {
+		x &= x - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(x)
+}
+
+// VoteColumn is one published (Round, Class, Val) column: bit q of the
+// bitset is set iff processor q broadcast that record this window. Columns
+// are maintained sorted by (Round, Class, Val), which — because each
+// sender's publishes ascend in (Round, Class) within a window — makes
+// column order equal per-sender record order for every consumer that scans
+// columns front to back.
+type VoteColumn struct {
+	// Round is the algorithm round the record belongs to; Class
+	// distinguishes record kinds within a round (core votes publish 0;
+	// Ben-Or publishes its Phase). (Round, Class) ascends per sender.
+	Round int
+	Class uint8
+	// Val is the carried value: a bit for Val < ValNeutral, neutral
+	// otherwise.
+	Val uint8
+
+	bits []uint64
+}
+
+// Word returns word w of the column's sender bitset.
+func (c *VoteColumn) Word(w int) uint64 { return c.bits[w] }
+
+// SetWord overwrites word w of the column's sender bitset. This is the
+// corruption hook: a columnar adversary that flips or suppresses votes
+// mutates the columns after PlanDeliveryColumnar receives them and before
+// tallying, the columnar analogue of rewriting batch payloads.
+func (c *VoteColumn) SetWord(w int, v uint64) { c.bits[w] = v }
+
+// ColumnSet holds one window's published columns plus the union of
+// publishing senders. It is reusable scratch owned by a System: reset
+// recycles the column bitsets through a free list, so the steady-state
+// window loop allocates nothing here.
+type ColumnSet struct {
+	words   int
+	cols    []VoteColumn
+	free    [][]uint64
+	senders []uint64
+}
+
+// Words returns the bitset width in 64-bit words ((n+63)/64).
+func (cs *ColumnSet) Words() int { return cs.words }
+
+// Columns returns the window's columns, sorted by (Round, Class, Val). The
+// slice and the column bitsets are valid until the next window's send.
+func (cs *ColumnSet) Columns() []VoteColumn { return cs.cols }
+
+// SenderWord returns word w of the union-of-publishing-senders bitset.
+func (cs *ColumnSet) SenderWord(w int) uint64 { return cs.senders[w] }
+
+// reset rewinds the set for a new window of the given word width.
+func (cs *ColumnSet) reset(words int) {
+	cs.words = words
+	for i := range cs.cols {
+		cs.free = append(cs.free, cs.cols[i].bits)
+		cs.cols[i].bits = nil
+	}
+	cs.cols = cs.cols[:0]
+	if cap(cs.senders) < words {
+		cs.senders = make([]uint64, words)
+	} else {
+		cs.senders = cs.senders[:words]
+		clear(cs.senders)
+	}
+}
+
+// takeRow fetches a cleared bitset row from the free list (or allocates).
+func (cs *ColumnSet) takeRow() []uint64 {
+	if n := len(cs.free); n > 0 {
+		row := cs.free[n-1]
+		cs.free = cs.free[:n-1]
+		if cap(row) < cs.words {
+			return make([]uint64, cs.words)
+		}
+		row = row[:cs.words]
+		clear(row)
+		return row
+	}
+	return make([]uint64, cs.words)
+}
+
+// publish records that processor from broadcast (round, class, val) this
+// window. Columns are few (one per distinct record in flight), so the
+// find-or-insert is a linear scan keeping the sorted order.
+func (cs *ColumnSet) publish(from ProcID, round int, class, val uint8) {
+	w, bit := int(from)>>6, uint64(1)<<(uint(from)&63)
+	cs.senders[w] |= bit
+	i := 0
+	for ; i < len(cs.cols); i++ {
+		c := &cs.cols[i]
+		if c.Round == round && c.Class == class && c.Val == val {
+			c.bits[w] |= bit
+			return
+		}
+		if c.Round > round || (c.Round == round &&
+			(c.Class > class || (c.Class == class && c.Val > val))) {
+			break
+		}
+	}
+	row := cs.takeRow()
+	row[w] |= bit
+	cs.cols = append(cs.cols, VoteColumn{})
+	copy(cs.cols[i+1:], cs.cols[i:])
+	cs.cols[i] = VoteColumn{Round: round, Class: class, Val: val, bits: row}
+}
+
+// VotePublisher is the per-sender publishing handle handed to
+// VoteBroadcaster.SendColumnar. It is passed by value and carries the
+// authenticated sender identity, the columnar analogue of the System
+// stamping Message.From.
+type VotePublisher struct {
+	cs   *ColumnSet
+	from ProcID
+}
+
+// Publish records one broadcast-to-all record for this window. Within a
+// window a sender must publish at most one record per (round, class), in
+// ascending (round, class) order — the invariant the tally scan's
+// column-order-equals-delivery-order reasoning rests on. The pending-record
+// queues of core and benor satisfy it by construction.
+func (p VotePublisher) Publish(round int, class, val uint8) {
+	p.cs.publish(p.from, round, class, val)
+}
+
+// Tally is the aggregated view of one (round, class) group under a
+// receiver's allow row: the paper's "count the votes" primitive.
+type Tally struct {
+	Round int
+	Class uint8
+	// Zeros/Ones count value-bearing records carrying that bit; Unvalued
+	// counts neutral records; Total is their sum.
+	Zeros, Ones, Unvalued, Total int
+}
+
+// WindowTally is the per-receiver delivery view handed to
+// TallyReceiver.DeliverTally: the window's columns masked by the receiver's
+// allowed-sender row. It is System-owned (or shard-owned) scratch, valid
+// only for the duration of the DeliverTally call.
+type WindowTally struct {
+	cs       *ColumnSet
+	allowAll bool
+	allow    []uint64
+}
+
+// Words returns the bitset width in 64-bit words.
+func (t *WindowTally) Words() int { return t.cs.words }
+
+// Columns returns the window's columns, sorted by (Round, Class, Val).
+func (t *WindowTally) Columns() []VoteColumn { return t.cs.cols }
+
+// AllowWord returns word w of the receiver's allowed-sender mask. When the
+// sender set is "all", the mask is all-ones (column bits beyond n-1 are
+// never set, so the overshoot is harmless).
+func (t *WindowTally) AllowWord(w int) uint64 {
+	if t.allowAll {
+		return ^uint64(0)
+	}
+	return t.allow[w]
+}
+
+// Tally aggregates the (round, class) group under the allow mask with one
+// popcount per column word.
+func (t *WindowTally) Tally(round int, class uint8) Tally {
+	res := Tally{Round: round, Class: class}
+	w := t.cs.words
+	for ci := range t.cs.cols {
+		c := &t.cs.cols[ci]
+		if c.Round != round || c.Class != class {
+			continue
+		}
+		n := 0
+		for i := 0; i < w; i++ {
+			n += bits.OnesCount64(c.bits[i] & t.AllowWord(i))
+		}
+		switch c.Val {
+		case 0:
+			res.Zeros += n
+		case 1:
+			res.Ones += n
+		default:
+			res.Unvalued += n
+		}
+		res.Total += n
+	}
+	return res
+}
+
+// VoteBroadcaster is the opt-in sending hook of the columnar kernel: a
+// process that can publish its queued broadcast as columns instead of
+// materializing Messages. SendColumnar consumes the same queued records
+// Send would, so a process alternates freely between the two paths.
+type VoteBroadcaster interface {
+	Process
+	SendColumnar(pub VotePublisher)
+}
+
+// TallyReceiver is the opt-in receiving hook: DeliverTally replaces the
+// window's per-message Deliver calls with one call carrying the aggregated
+// columns. Implementations must consume randomness and mutate state exactly
+// as the equivalent message-at-a-time delivery order would (ascending
+// sender, per-sender record order) — the byte-identity contract the
+// property tests in internal/registry assert.
+type TallyReceiver interface {
+	DeliverTally(t *WindowTally, r RandSource)
+}
+
+// ColumnarPlanner is the adversary half of the opt-in: a WindowAdversary
+// that can plan a window from the published columns, without the batch.
+// PlansColumnar reports whether the instance currently supports it (a
+// wrapper forwards its inner adversary's capability), and
+// PlanDeliveryColumnar is PlanDelivery with the columns in the batch's
+// stead. Scheduler.PlanSenders implementations receive a nil batch on this
+// path and must not depend on it.
+type ColumnarPlanner interface {
+	WindowAdversary
+	PlansColumnar() bool
+	PlanDeliveryColumnar(s *System, cols *ColumnSet) Window
+}
+
+// SetColumnar enables or disables the columnar kernel. It is enabled by
+// default (the zero System runs columnar whenever the guards allow);
+// disabling forces every window onto the message-at-a-time path. Like
+// SetShardWorkers, the setting is a pure performance knob — output is
+// byte-identical either way — and survives Recycle.
+func (s *System) SetColumnar(on bool) { s.colOff = !on }
+
+// Columnar reports whether the columnar kernel is enabled.
+func (s *System) Columnar() bool { return !s.colOff }
+
+// columnarPlanner decides whether the next window may take the columnar
+// path, returning the capable planner when so. The capability of the
+// process set is cached: it is only consulted while no processor is
+// corrupted, and Recycle rebuilds corrupted processors through the
+// construction factory, so the process types — and hence the answer —
+// never change while the guard passes.
+func (s *System) columnarPlanner(adv WindowAdversary) (ColumnarPlanner, bool) {
+	if s.colOff || s.OnEvent != nil || s.totalCorrupt > 0 {
+		return nil, false
+	}
+	cp, ok := adv.(ColumnarPlanner)
+	if !ok || !cp.PlansColumnar() {
+		return nil, false
+	}
+	if s.colCap == 0 {
+		s.colCap = 1
+		for i := 0; i < s.n; i++ {
+			if _, ok := s.procs[i].(VoteBroadcaster); !ok {
+				s.colCap = -1
+				break
+			}
+			if _, ok := s.procs[i].(TallyReceiver); !ok {
+				s.colCap = -1
+				break
+			}
+		}
+	}
+	if s.colCap < 0 {
+		return nil, false
+	}
+	return cp, true
+}
+
+// ColumnarPlanned reports whether ApplyWindowWith(adv) would currently take
+// the columnar fast path — the kernel is enabled, no guard vetoes it, and
+// adv plans columnar windows. For CLIs reporting the effective mode and for
+// tests asserting the fast path is actually exercised.
+func (s *System) ColumnarPlanned(adv WindowAdversary) bool {
+	_, ok := s.columnarPlanner(adv)
+	return ok
+}
+
+// applyWindowColumnar runs one full acceptable window on the columnar path:
+// publish columns, plan, tally-deliver, reset. The emit call of the legacy
+// path is skipped because the guard guarantees OnEvent is nil.
+func (s *System) applyWindowColumnar(cp ColumnarPlanner) error {
+	s.columnarSend()
+	w := cp.PlanDeliveryColumnar(s, &s.colSet)
+	if err := s.columnarDeliver(w.Senders); err != nil {
+		return err
+	}
+	if err := s.WindowResets(w.Resets); err != nil {
+		return err
+	}
+	s.windows++
+	return s.violation
+}
+
+// columnarSend runs the window's sending steps through SendColumnar and
+// builds the per-depth sender buckets the chain-depth accounting needs.
+// Exactly like the serial sender loop, every live sender costs one step
+// even when it publishes nothing.
+func (s *System) columnarSend() {
+	s.colSet.reset(s.allowWords)
+	for i := 0; i < s.n; i++ {
+		if s.crashed[i] {
+			continue
+		}
+		s.steps++
+		s.procs[i].(VoteBroadcaster).SendColumnar(VotePublisher{cs: &s.colSet, from: ProcID(i)})
+	}
+	// Depth buckets: all of a sender's window records share Depth =
+	// chainDepth[sender]+1 (chainDepth is pre-window during send), so one
+	// bitset row per distinct depth value suffices for the per-receiver
+	// max-depth reduction.
+	s.colDepths = s.colDepths[:0]
+	for i := 0; i < s.n; i++ {
+		if s.colSet.senders[i>>6]&(uint64(1)<<(uint(i)&63)) == 0 {
+			continue
+		}
+		s.depthRow(s.chainDepth[i] + 1)[i>>6] |= uint64(1) << (uint(i) & 63)
+	}
+}
+
+// depthRow returns the (cleared-on-first-use) sender bitset row of depth d,
+// creating its bucket if the window hasn't seen d yet. Distinct depth values
+// per window are few (senders cluster at the frontier), so a linear scan
+// beats a map.
+func (s *System) depthRow(d int) []uint64 {
+	for j, dd := range s.colDepths {
+		if dd == d {
+			return s.colDepthRows[j]
+		}
+	}
+	j := len(s.colDepths)
+	s.colDepths = append(s.colDepths, d)
+	if j < len(s.colDepthRows) {
+		row := s.colDepthRows[j]
+		if cap(row) < s.allowWords {
+			row = make([]uint64, s.allowWords)
+		} else {
+			row = row[:s.allowWords]
+			clear(row)
+		}
+		s.colDepthRows[j] = row
+		return row
+	}
+	row := make([]uint64, s.allowWords)
+	s.colDepthRows = append(s.colDepthRows, row)
+	return row
+}
+
+// columnarCount returns the message count and maximum chain depth a
+// receiver with the given allow row (nil = all senders) observes this
+// window: one popcount per column word, exactly the per-receiver delivered
+// message count of the legacy path (every (sender, record) pair a receiver
+// admits is one delivered message there, stale and duplicate records
+// included).
+func (s *System) columnarCount(row []uint64) (msgs int64, depth int) {
+	w := s.colSet.words
+	for ci := range s.colSet.cols {
+		cb := s.colSet.cols[ci].bits
+		if row == nil {
+			for i := 0; i < w; i++ {
+				msgs += int64(bits.OnesCount64(cb[i]))
+			}
+		} else {
+			for i := 0; i < w; i++ {
+				msgs += int64(bits.OnesCount64(cb[i] & row[i]))
+			}
+		}
+	}
+	for j, d := range s.colDepths {
+		if d <= depth {
+			continue
+		}
+		db := s.colDepthRows[j]
+		for i := 0; i < w; i++ {
+			x := db[i]
+			if row != nil {
+				x &= row[i]
+			}
+			if x != 0 {
+				depth = d
+				break
+			}
+		}
+	}
+	return msgs, depth
+}
+
+// columnarDeliver is the delivery half of the columnar window: validate the
+// sender sets into the shared allow bitset, then hand every live receiver
+// its masked tally. Receivers that would have received zero messages skip
+// the DeliverTally call, matching the legacy path (which never invokes
+// Deliver, and hence never refreshes decision bookkeeping, for them).
+func (s *System) columnarDeliver(senders [][]ProcID) error {
+	if senders != nil && len(senders) != s.n {
+		return fmt.Errorf("%w: got %d sender sets for n=%d", ErrBadWindow, len(senders), s.n)
+	}
+	if s.shardWorkers > 1 {
+		return s.columnarDeliverSharded(senders)
+	}
+	if err := s.validateSenders(senders); err != nil {
+		return err
+	}
+	// The all-senders tally is shared by every allowAll receiver.
+	s.colFullMsgs, s.colFullDepth = s.columnarCount(nil)
+	wt := &s.colTally
+	wt.cs = &s.colSet
+	for i := 0; i < s.n; i++ {
+		if s.crashed[i] {
+			continue
+		}
+		var msgs int64
+		var depth int
+		if s.allowAll[i] {
+			msgs, depth = s.colFullMsgs, s.colFullDepth
+			wt.allowAll, wt.allow = true, nil
+		} else {
+			row := s.allowedRow(i)
+			msgs, depth = s.columnarCount(row)
+			wt.allowAll, wt.allow = false, row
+		}
+		if msgs == 0 {
+			continue
+		}
+		s.steps += msgs
+		if s.chainDepth[i] < depth {
+			s.chainDepth[i] = depth
+		}
+		s.procs[i].(TallyReceiver).DeliverTally(wt, s.rngs[i])
+		s.recordOutputs(ProcID(i))
+	}
+	return nil
+}
+
+// columnarDeliverSharded runs the tally loop across the shard pool:
+// validation and the merge reuse the sharded core's machinery unchanged
+// (ascending shard order, first error/violation wins, panics re-raised at
+// the merge), and each shard tallies its receiver range against its own
+// WindowTally scratch.
+func (s *System) columnarDeliverSharded(senders [][]ProcID) error {
+	pool := s.ensureShardPool()
+	s.resetShards()
+	for i := range s.allowAll {
+		s.allowAll[i] = true
+	}
+	if senders != nil {
+		s.shardSenders = senders
+		pool.run(s, phaseValidate, len(s.shards))
+		s.shardSenders = nil
+		for i := range s.shards {
+			sh := &s.shards[i]
+			if sh.panicked {
+				panic(sh.panicVal)
+			}
+			if sh.err != nil {
+				return sh.err
+			}
+		}
+	}
+	// Precompute the shared all-senders tally serially: the shards read it.
+	s.colFullMsgs, s.colFullDepth = s.columnarCount(nil)
+	pool.run(s, phaseTally, len(s.shards))
+	anyDecided := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.steps += sh.steps
+		if sh.decided {
+			anyDecided = true
+		}
+		if sh.violation != nil && s.violation == nil {
+			s.violation = sh.violation
+		}
+		if sh.panicked {
+			if anyDecided && s.firstDecision < 0 {
+				s.firstDecision = s.windows
+			}
+			panic(sh.panicVal)
+		}
+	}
+	if anyDecided && s.firstDecision < 0 {
+		s.firstDecision = s.windows
+	}
+	return nil
+}
+
+// shardTallyRange is the phaseTally body: the serial tally loop restricted
+// to the shard's receiver range, with step counts and decision flags routed
+// into shard scratch for the ascending merge. OnEvent is nil on the
+// columnar path, so no events are buffered.
+func (s *System) shardTallyRange(sh *windowShard) {
+	wt := &sh.tally
+	wt.cs = &s.colSet
+	for i := sh.lo; i < sh.hi; i++ {
+		if s.crashed[i] {
+			continue
+		}
+		var msgs int64
+		var depth int
+		if s.allowAll[i] {
+			msgs, depth = s.colFullMsgs, s.colFullDepth
+			wt.allowAll, wt.allow = true, nil
+		} else {
+			row := s.allowedRow(i)
+			msgs, depth = s.columnarCount(row)
+			wt.allowAll, wt.allow = false, row
+		}
+		if msgs == 0 {
+			continue
+		}
+		sh.steps += msgs
+		if s.chainDepth[i] < depth {
+			s.chainDepth[i] = depth
+		}
+		s.procs[i].(TallyReceiver).DeliverTally(wt, s.rngs[i])
+		s.shardRecordOutputs(sh, ProcID(i))
+	}
+}

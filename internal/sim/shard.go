@@ -51,6 +51,7 @@ type windowShard struct {
 	decided   bool    // some processor newly decided in this shard
 	events    []Event // buffered trace events, in serial emission order
 	sendMsgs  []Message
+	tally     WindowTally // phaseTally scratch (columnar.go)
 
 	panicked bool // a phase body panicked; panicVal re-raised at merge
 	panicVal any
@@ -146,6 +147,8 @@ func (s *System) shardRun(phase shardPhase, i int) {
 		s.shardDeliverRange(sh)
 	case phaseSend:
 		s.shardSendRange(sh)
+	case phaseTally:
+		s.shardTallyRange(sh)
 	}
 }
 

@@ -52,6 +52,7 @@ const (
 	phaseValidate shardPhase = iota + 1
 	phaseDeliver
 	phaseSend
+	phaseTally // columnar per-receiver tally (columnar.go)
 )
 
 // newShardPool spawns a pool of workers goroutines (the calling goroutine

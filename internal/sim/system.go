@@ -147,6 +147,25 @@ type System struct {
 	orderIdx     []int32    // batch indices bucketed by receiver
 	orderOff     []int32    // orderIdx bucket offsets, len n+1
 	orderPos     []int32    // bucket fill cursors, len n
+
+	// Columnar kernel state (columnar.go). colOff disables the fast path
+	// (the zero value keeps it enabled); colCap caches whether every process
+	// implements the columnar hooks (+1 yes, -1 no, 0 unknown — sound to
+	// cache because it is only consulted while no processor is corrupted and
+	// Recycle rebuilds corrupted processors through the same factory, so
+	// process types never change under the guard). colSet/colTally/colDepth*
+	// are reusable window scratch; colFullMsgs/colFullDepth cache the
+	// all-senders tally shared by allowAll receivers, computed serially
+	// before any parallel tally phase. Like the sharded scratch, all of it
+	// deliberately survives Recycle.
+	colOff       bool
+	colCap       int8
+	colSet       ColumnSet
+	colTally     WindowTally
+	colDepths    []int
+	colDepthRows [][]uint64
+	colFullMsgs  int64
+	colFullDepth int
 }
 
 // New constructs a System, instantiating one Process per processor.

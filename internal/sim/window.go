@@ -54,35 +54,8 @@ func (s *System) WindowDeliver(batch []Message, senders [][]ProcID) error {
 	if s.shardWorkers > 1 && s.shardedBatch(batch) {
 		return s.windowDeliverSharded(batch, senders)
 	}
-	// Validate every sender set into the reusable bitset before delivering
-	// anything: an illegal window must leave the configuration untouched.
-	for i := range s.allowAll {
-		s.allowAll[i] = true
-	}
-	if senders != nil {
-		for i, set := range senders {
-			if set == nil {
-				continue // nil means all senders
-			}
-			s.allowAll[i] = false
-			row := s.allowedRow(i)
-			clear(row)
-			distinct := 0
-			for _, p := range set {
-				if err := s.checkProc(p); err != nil {
-					return err
-				}
-				w, bit := int(p)>>6, uint64(1)<<(uint(p)&63)
-				if row[w]&bit == 0 {
-					row[w] |= bit
-					distinct++
-				}
-			}
-			if distinct < s.n-s.t {
-				return fmt.Errorf("%w: sender set for processor %d has %d distinct senders < n-t=%d",
-					ErrBadWindow, i, distinct, s.n-s.t)
-			}
-		}
+	if err := s.validateSenders(senders); err != nil {
+		return err
 	}
 
 	// Deliver in (receiver, sender, ID) order for determinism. The sort key
@@ -121,6 +94,54 @@ func (s *System) WindowDeliver(batch []Message, senders [][]ProcID) error {
 		s.buffer.Take(ordered[i].ID)
 	}
 	s.reclaimBatch(batch)
+	return nil
+}
+
+// validateSenders validates every sender set into the reusable allow bitset
+// before anything is delivered: an illegal window must leave the
+// configuration untouched. Shared by the serial message path and the
+// columnar kernel. Adversaries commonly hand many receivers the same
+// backing slice (the scheduler scratch-sharing pattern), so a set whose
+// identity matches the previously validated one copies that row instead of
+// re-scanning; a shared invalid set still errors at its first user with
+// that user's index, identically on both paths.
+func (s *System) validateSenders(senders [][]ProcID) error {
+	for i := range s.allowAll {
+		s.allowAll[i] = true
+	}
+	if senders == nil {
+		return nil
+	}
+	var lastSet *ProcID
+	lastLen, lastRow := -1, -1
+	for i, set := range senders {
+		if set == nil {
+			continue // nil means all senders
+		}
+		s.allowAll[i] = false
+		row := s.allowedRow(i)
+		if lastRow >= 0 && len(set) == lastLen && &set[0] == lastSet {
+			copy(row, s.allowedRow(lastRow))
+			continue
+		}
+		clear(row)
+		distinct := 0
+		for _, p := range set {
+			if err := s.checkProc(p); err != nil {
+				return err
+			}
+			w, bit := int(p)>>6, uint64(1)<<(uint(p)&63)
+			if row[w]&bit == 0 {
+				row[w] |= bit
+				distinct++
+			}
+		}
+		if distinct < s.n-s.t {
+			return fmt.Errorf("%w: sender set for processor %d has %d distinct senders < n-t=%d",
+				ErrBadWindow, i, distinct, s.n-s.t)
+		}
+		lastSet, lastLen, lastRow = &set[0], len(set), i
+	}
 	return nil
 }
 
@@ -211,8 +232,13 @@ type RunResult struct {
 
 // ApplyWindowWith runs one full acceptable window planned by adv, giving it
 // full information: it is invoked after the sending steps with the just-sent
-// batch.
+// batch. When the columnar kernel is enabled and every guard holds (see
+// columnarPlanner), the window instead runs the byte-identical bit-packed
+// fast path of columnar.go.
 func (s *System) ApplyWindowWith(adv WindowAdversary) error {
+	if cp, ok := s.columnarPlanner(adv); ok {
+		return s.applyWindowColumnar(cp)
+	}
 	batch := s.WindowSend()
 	w := adv.PlanDelivery(s, batch)
 	if err := s.WindowDeliver(batch, w.Senders); err != nil {
